@@ -1,0 +1,3 @@
+"""Benchmark harness regenerating every table and figure of the paper's
+Section V (plus synthetic validations and ablations).  See DESIGN.md for
+the experiment index and EXPERIMENTS.md for paper-vs-measured results."""

@@ -1,0 +1,96 @@
+"""Shared infrastructure for the benchmark harness.
+
+Several of the paper's tables and figures are different views of the same
+experiment (Figs. 6, 7 and Table I all come from one method panel on the
+noise margins; Fig. 12, Table II and Fig. 13 from one panel on the read
+current), so the panels are computed once per pytest session and cached
+here.  Every bench writes its reproduction report both to stdout and to
+``benchmarks/results/<name>.txt``.
+
+Budgets scale with the ``REPRO_BENCH_SCALE`` environment variable
+(default 1.0); e.g. ``REPRO_BENCH_SCALE=0.2 pytest benchmarks/`` runs a
+fast smoke pass.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+from repro.analysis.experiments import compare_methods
+from repro.mc.montecarlo import brute_force_monte_carlo
+from repro.sram.problems import (
+    read_current_problem,
+    read_noise_margin_problem,
+    write_noise_margin_problem,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Global budget multiplier.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 2) -> int:
+    return max(int(n * SCALE), minimum)
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a bench report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+_PROBLEMS = {
+    "rnm": read_noise_margin_problem,
+    "wnm": write_noise_margin_problem,
+    "iread": read_current_problem,
+}
+
+
+@lru_cache(maxsize=None)
+def problem(name: str):
+    return _PROBLEMS[name]()
+
+
+@lru_cache(maxsize=None)
+def noise_margin_panel(metric_name: str):
+    """Four-method panel on a 6-D noise-margin problem (Figs. 6-11, Table I)."""
+    return compare_methods(
+        problem(metric_name),
+        seed=2011,
+        n_second_stage=scaled(100_000, 2000),
+        n_gibbs=scaled(400, 50),
+        n_exploration=scaled(5000, 500),
+        doe_budget=scaled(1000, 200),
+        store_samples=True,
+    )
+
+
+@lru_cache(maxsize=None)
+def read_current_panel():
+    """Four-method panel on the 2-D read-current problem (Fig. 12, Table II,
+    Fig. 13)."""
+    return compare_methods(
+        problem("iread"),
+        seed=2012,
+        n_second_stage=scaled(10_000, 1000),
+        n_gibbs=scaled(400, 50),
+        n_exploration=scaled(5000, 500),
+        doe_budget=scaled(1000, 200),
+        store_samples=True,
+    )
+
+
+@lru_cache(maxsize=None)
+def read_current_golden():
+    """Golden brute-force Monte Carlo for Table II.
+
+    8.7 million raw samples — the same count the paper's golden run used.
+    """
+    prob = problem("iread")
+    return brute_force_monte_carlo(
+        prob.metric, prob.spec, scaled(8_700_000, 200_000), rng=87
+    )

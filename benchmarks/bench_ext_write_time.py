@@ -1,0 +1,47 @@
+"""Extension experiment: dynamic write-time failure rate (transient substrate).
+
+Not in the paper — its metrics are static — but the natural next failure
+mechanism for the same machinery: the time for a write to flip the cell,
+measured by backward-Euler transient simulation, with failure defined as
+exceeding a timing budget.  Both Gibbs flows are run and cross-checked with
+the agreement diagnostic; expected shape: the two coordinate systems agree
+(the write-time failure region is a well-behaved band, like the noise
+margins, not the bent Section V-B shape).
+"""
+
+from benchmarks._shared import scaled, write_report
+from repro.analysis.diagnostics import check_agreement
+from repro.analysis.experiments import compare_methods
+from repro.analysis.tables import format_table
+from repro.sram.problems import write_time_problem
+
+
+def run():
+    prob = write_time_problem()
+    results = compare_methods(
+        prob,
+        methods=("MNIS", "G-C", "G-S"),
+        seed=2013,
+        n_second_stage=scaled(6000, 1000),
+        n_gibbs=scaled(250, 50),
+        doe_budget=scaled(400, 100),
+    )
+    rows = [
+        [name, f"{r.failure_probability:.3e}",
+         f"{100 * r.relative_error:.1f}%", r.n_first_stage, r.n_second_stage]
+        for name, r in results.items()
+    ]
+    report = (
+        f"problem: {prob.description}\n\n"
+        + format_table(
+            ["method", "P_f", "rel. err.", "first stage", "second stage"],
+            rows,
+        )
+        + "\n\nagreement check:\n"
+        + check_agreement(results).summary()
+    )
+    write_report("ext_write_time", report)
+
+
+def test_ext_write_time(benchmark):
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Fig. 6 reproduction: estimated P_f vs second-stage simulations (RNM, WNM).
+
+Runs the four-method panel (MIS, MNIS, G-C, G-S) on both noise-margin
+problems and prints the running failure-probability estimate versus the
+number of second-stage transistor-level simulations — the data behind the
+paper's Fig. 6(a)/(b).  Expected shape: all methods drift toward a common
+value, with the Gibbs methods stabilising earliest.
+"""
+
+import numpy as np
+
+from benchmarks._shared import noise_margin_panel, write_report
+from repro.analysis.tables import format_series
+
+
+def series_at(results, checkpoints):
+    """Interpolate each method's running estimate onto shared checkpoints."""
+    series = {}
+    for name, result in results.items():
+        trace = result.trace
+        series[name] = np.interp(
+            checkpoints, trace.n_samples, trace.estimate
+        )
+    return series
+
+
+def run():
+    report_parts = []
+    for metric_name, label in (("rnm", "(a) RNM"), ("wnm", "(b) WNM")):
+        results = noise_margin_panel(metric_name)
+        n_max = min(r.trace.n_samples[-1] for r in results.values())
+        checkpoints = np.unique(
+            np.geomspace(200, n_max, 12).astype(int)
+        )
+        table = format_series(
+            checkpoints, series_at(results, checkpoints),
+            x_label="second-stage sims", float_format="{:.3e}",
+        )
+        final = ", ".join(
+            f"{name}={r.failure_probability:.3e}" for name, r in results.items()
+        )
+        report_parts.append(f"--- Fig. 6{label} ---\n{table}\nfinal: {final}")
+    report = "\n\n".join(report_parts)
+    write_report("fig06_noise_margin_convergence", report)
+
+
+def test_fig06_noise_margin_convergence(benchmark):
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Fig. 7 reproduction: 99%-CI relative error vs second-stage simulations.
+
+Same panel as Fig. 6, different view: the running confidence-interval
+relative error per method.  Expected shape: the Gibbs methods' error decays
+fastest (their fitted proposal matches both the mean and covariance of the
+optimal distribution), so they cross any accuracy target first.
+"""
+
+import numpy as np
+
+from benchmarks._shared import noise_margin_panel, write_report
+from repro.analysis.tables import format_series
+
+
+def run():
+    report_parts = []
+    for metric_name, label in (("rnm", "(a) RNM"), ("wnm", "(b) WNM")):
+        results = noise_margin_panel(metric_name)
+        n_max = min(r.trace.n_samples[-1] for r in results.values())
+        checkpoints = np.unique(np.geomspace(200, n_max, 12).astype(int))
+        series = {}
+        for name, result in results.items():
+            trace = result.trace
+            series[name] = np.interp(
+                checkpoints, trace.n_samples, trace.relative_error
+            )
+        table = format_series(
+            checkpoints, series, x_label="second-stage sims",
+            float_format="{:.3f}",
+        )
+        report_parts.append(f"--- Fig. 7{label} (relative error) ---\n{table}")
+    report = "\n\n".join(report_parts)
+    write_report("fig07_relative_error", report)
+
+
+def test_fig07_relative_error(benchmark):
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+"""Figs. 8-11 reproduction: second-stage sample clouds per method.
+
+The paper plots the second-stage samples of each method projected onto the
+two most critical mismatch variables — (dVth1, dVth3) for RNM and
+(dVth3, dVth5) for WNM — labelled pass/fail.  The quantitative content is
+the *failure fraction*: MIS and MNIS (identity covariance, Figs. 8-9)
+waste most draws on passing territory, while G-C and G-S (fitted
+covariance, Figs. 10-11) concentrate on the failure region.  This bench
+reports those fractions and the projected failure-cloud statistics.
+"""
+
+import numpy as np
+
+from benchmarks._shared import noise_margin_panel, write_report
+from repro.analysis.experiments import second_stage_scatter
+from repro.analysis.tables import format_table
+
+#: Variable projections per metric, following the paper's figure captions
+#: (indices into M1..M6 order: dVth1 = 0, dVth3 = 2, dVth5 = 4).
+PROJECTIONS = {"rnm": (0, 2), "wnm": (2, 4)}
+
+
+def run():
+    rows = []
+    fractions = {}
+    for metric_name, pair in PROJECTIONS.items():
+        results = noise_margin_panel(metric_name)
+        for name, result in results.items():
+            scatter = second_stage_scatter(result, pair)
+            n_fail = len(scatter["fail"])
+            n_total = n_fail + len(scatter["pass"])
+            fractions[(metric_name, name)] = n_fail / n_total
+            centre = (
+                scatter["fail"].mean(axis=0) if n_fail else np.full(2, np.nan)
+            )
+            spread = (
+                scatter["fail"].std(axis=0) if n_fail > 1 else np.full(2, np.nan)
+            )
+            rows.append([
+                metric_name.upper(), name, n_total, n_fail,
+                f"{100 * n_fail / n_total:.1f}%",
+                f"({centre[0]:+.2f}, {centre[1]:+.2f})",
+                f"({spread[0]:.2f}, {spread[1]:.2f})",
+            ])
+    report = format_table(
+        ["metric", "method", "samples", "failures", "fail fraction",
+         "fail-cloud centre", "fail-cloud spread"],
+        rows,
+    )
+    checks = []
+    for metric_name in PROJECTIONS:
+        gibbs = min(
+            fractions[(metric_name, "G-C")], fractions[(metric_name, "G-S")]
+        )
+        trad = max(
+            fractions[(metric_name, "MIS")], fractions[(metric_name, "MNIS")]
+        )
+        checks.append(
+            f"{metric_name.upper()}: min Gibbs fail-fraction {gibbs:.2f} vs "
+            f"max traditional {trad:.2f} -> Gibbs concentrates better: "
+            f"{gibbs > trad}"
+        )
+    report += "\n\n" + "\n".join(checks)
+    report += (
+        "\n(paper: Figs. 8-9 show many 'Pass' points for MIS/MNIS; "
+        "Figs. 10-11 show G-C/G-S covering the failure region)"
+    )
+    write_report("fig08_11_sample_scatter", report)
+
+
+def test_fig08_11_sample_scatter(benchmark):
+    benchmark.pedantic(run, rounds=1, iterations=1)

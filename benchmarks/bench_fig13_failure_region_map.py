@@ -1,0 +1,65 @@
+"""Fig. 13 reproduction: the 2-D read-current failure region and each
+method's second-stage failure points.
+
+The paper identifies the failure region by uniform sampling (green squares)
+and overlays each method's second-stage failure points (black crosses).
+The quantitative content: G-S's failure points cover the whole
+high-probability region (both arms of the bent band), while MIS, MNIS and
+G-C cover only one small portion.  This bench renders the region in ASCII
+and reports per-method coverage statistics (angular spread of the failure
+cloud around the origin).
+"""
+
+import numpy as np
+
+from benchmarks._shared import problem, read_current_panel, write_report
+from repro.analysis.experiments import second_stage_scatter
+from repro.analysis.region import ascii_region, map_failure_region
+from repro.analysis.tables import format_table
+
+
+def angular_spread(points: np.ndarray) -> float:
+    """Spread (degrees) of the polar angles of a 2-D point cloud."""
+    if len(points) < 2:
+        return 0.0
+    angles = np.degrees(np.arctan2(points[:, 1], points[:, 0]))
+    return float(angles.max() - angles.min())
+
+
+def run():
+    prob = problem("iread")
+    axis_x, axis_y, fail = map_failure_region(prob, extent=8.0, n_grid=61)
+    art = ascii_region(axis_x, axis_y, fail, width=61, height=25)
+
+    results = read_current_panel()
+    rows = []
+    spreads = {}
+    for name, result in results.items():
+        scatter = second_stage_scatter(result, (0, 1))
+        pts = scatter["fail"]
+        spreads[name] = angular_spread(pts)
+        rows.append([
+            name, len(pts), f"{spreads[name]:.0f} deg",
+            f"({pts[:, 0].mean():+.2f}, {pts[:, 1].mean():+.2f})"
+            if len(pts) else "-",
+        ])
+    table = format_table(
+        ["method", "failure points", "angular coverage", "cloud centre"],
+        rows,
+    )
+    gs_widest = spreads["G-S"] >= max(
+        spreads[m] for m in ("MIS", "MNIS", "G-C")
+    )
+    report = (
+        "Failure region over (dVth1, dVth3), +/- 8 sigma "
+        "('#' = fail, '+' = nominal):\n"
+        f"{art}\n\nSecond-stage failure-point coverage per method:\n{table}"
+        f"\n\nG-S covers the widest angular span: {gs_widest} "
+        "(paper: only G-S 'fully covers the high-probability failure "
+        "region')"
+    )
+    write_report("fig13_failure_region_map", report)
+
+
+def test_fig13_failure_region_map(benchmark):
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""Table I reproduction: simulations to reach 5% error (99% CI).
+
+For each method and each noise-margin metric, reports the first-stage
+simulation count and the second-stage simulations after which the running
+relative error stays at or below 5%.  Expected shape (paper's Table I): the
+Gibbs methods spend more in the first stage but need several-fold fewer
+second-stage simulations, winning on the total — 1.4-4.9x in the paper.
+"""
+
+from benchmarks._shared import SCALE, noise_margin_panel, write_report
+from repro.analysis.experiments import sims_to_target_error
+from repro.analysis.tables import format_table
+
+#: With heavily reduced budgets the 5% target may be unreachable; scale it.
+TARGET = 0.05 if SCALE >= 0.5 else 0.15
+
+
+def run():
+    rows = []
+    totals = {}
+    for metric_name in ("rnm", "wnm"):
+        results = noise_margin_panel(metric_name)
+        reach = sims_to_target_error(results, target=TARGET)
+        for name, row in reach.items():
+            rows.append([
+                metric_name.upper(), name,
+                row["first_stage"], row["second_stage"], row["total"],
+            ])
+            totals[(metric_name, name)] = row["total"]
+    report = format_table(
+        ["metric", "method", "first stage",
+         f"second stage (to {TARGET:.0%})", "total"],
+        rows,
+    )
+    speedups = []
+    for metric_name in ("rnm", "wnm"):
+        gibbs = [
+            totals[(metric_name, n)]
+            for n in ("G-C", "G-S")
+            if totals[(metric_name, n)]
+        ]
+        trad = [
+            totals[(metric_name, n)]
+            for n in ("MIS", "MNIS")
+            if totals[(metric_name, n)]
+        ]
+        if gibbs and trad:
+            speedups.append(
+                f"{metric_name.upper()}: best-Gibbs vs traditional speedup "
+                f"{min(trad) / min(gibbs):.1f}x - {max(trad) / min(gibbs):.1f}x"
+            )
+    report += "\n\n" + "\n".join(speedups)
+    report += "\n(paper reports 1.4x - 4.9x)"
+    write_report("table1_sims_to_5pct", report)
+
+
+def test_table1_sims_to_5pct(benchmark):
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+"""Table II reproduction: read-current failure probability per method.
+
+The paper's Table II: first/second-stage simulation counts, estimated
+failure rate and relative error for MIS, MNIS, G-C, G-S, against a
+multi-million-sample brute-force Monte Carlo golden value.  Expected shape:
+G-S is nearly identical to the golden result with a small relative error;
+MIS, MNIS and G-C underestimate, and their (claimed) errors stay large.
+"""
+
+from benchmarks._shared import read_current_golden, read_current_panel, write_report
+from repro.analysis.tables import format_table
+
+
+def run():
+    results = read_current_panel()
+    golden = read_current_golden()
+
+    rows = []
+    for name in ("MIS", "MNIS", "G-C", "G-S"):
+        r = results[name]
+        rows.append([
+            name, r.n_first_stage, r.n_second_stage,
+            f"{r.failure_probability:.3e}",
+            f"{100 * r.relative_error:.1f}%",
+            f"{r.failure_probability / golden.failure_probability:.2f}",
+        ])
+    rows.append([
+        "Brute-force MC", golden.n_second_stage, "-",
+        f"{golden.failure_probability:.3e}",
+        f"{100 * golden.relative_error:.1f}%", "1.00",
+    ])
+    report = format_table(
+        ["method", "first stage", "second stage", "failure rate",
+         "relative error", "ratio to golden"],
+        rows,
+    )
+    gs_ratio = results["G-S"].failure_probability / golden.failure_probability
+    worst = min(
+        results[m].failure_probability for m in ("MIS", "MNIS", "G-C")
+    ) / golden.failure_probability
+    report += (
+        f"\n\nG-S / golden = {gs_ratio:.2f} (paper: 2.25e-6 / 2.28e-6 = 0.99)"
+        f"\nworst non-G-S method / golden = {worst:.2f} (paper: down to 0.55)"
+        "\nShape check - G-S lands on the golden value with a small, "
+        "converging CI while at least one other method is badly biased "
+        "with an error that no longer shrinks: "
+        f"{abs(gs_ratio - 1) < 0.2 and worst < 0.8}"
+    )
+    write_report("table2_read_current", report)
+
+
+def test_table2_read_current(benchmark):
+    benchmark.pedantic(run, rounds=1, iterations=1)

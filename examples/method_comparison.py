@@ -1,0 +1,63 @@
+"""Section V-A reproduction: method comparison on the noise margins.
+
+Runs MIS, MNIS, G-C and G-S on the 6-D read-noise-margin problem and
+reports each method's estimate, its 99%-CI relative error, and the
+second-stage simulations needed to stabilise below a target error — the
+Table I question.  Budgets are reduced relative to the benchmark harness so
+the example finishes in a few minutes; pass a scale factor to grow them:
+
+Run:  python examples/method_comparison.py [scale]
+"""
+
+import sys
+
+from repro import (
+    compare_methods,
+    format_table,
+    read_noise_margin_problem,
+    sims_to_target_error,
+)
+
+
+def main(scale: float = 1.0):
+    problem = read_noise_margin_problem()
+    print(f"Problem: {problem.description}\n")
+
+    n_second = int(6000 * scale)
+    results = compare_methods(
+        problem, seed=7,
+        n_second_stage=n_second,
+        n_gibbs=int(300 * scale),
+        n_exploration=int(4000 * scale),
+        doe_budget=800,
+    )
+
+    target = 0.10  # 10% relative error target for the reduced budgets
+    reach = sims_to_target_error(results, target=target)
+
+    rows = []
+    for name, result in results.items():
+        row = reach[name]
+        rows.append([
+            name,
+            f"{result.failure_probability:.3e}",
+            f"{100 * result.relative_error:.1f}%",
+            result.n_first_stage,
+            row["second_stage"],
+            row["total"],
+        ])
+    print(format_table(
+        ["method", "P_f", f"err @ N={n_second}",
+         "first stage", f"2nd stage to {target:.0%}", "total"],
+        rows,
+    ))
+    print(
+        "\nThe Gibbs methods spend more in the first stage (the chain) but "
+        "learn the full covariance of the optimal sampling distribution, so "
+        "their second stage converges in far fewer simulations - the "
+        "paper's Table I effect."
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 1.0)

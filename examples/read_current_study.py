@@ -1,0 +1,73 @@
+"""Section V-B reproduction: the non-convex read-current failure region.
+
+Maps the 2-D failure region of the read-current metric (an upset wedge
+joined to a weak-current band — the bent shape of the paper's Fig. 13),
+runs all four importance-sampling methods plus a golden brute-force Monte
+Carlo, and shows that only the spherical Gibbs flow (G-S) lands on the
+golden answer — the paper's Table II headline.
+
+Run:  python examples/read_current_study.py
+"""
+
+import numpy as np
+
+from repro import (
+    brute_force_monte_carlo,
+    compare_methods,
+    format_table,
+    read_current_problem,
+)
+from repro.analysis.region import ascii_region, map_failure_region
+
+
+def main():
+    problem = read_current_problem()
+    print(f"Problem: {problem.description}\n")
+
+    print("Failure region over (dVth1, dVth3), +/- 8 sigma "
+          "('#' = fail, '+' = nominal):")
+    axis_x, axis_y, fail = map_failure_region(problem, extent=8.0, n_grid=61)
+    print(ascii_region(axis_x, axis_y, fail, width=61, height=25))
+    print("\nNote the bend: the weak-current band (right) meets the "
+          "read-upset wedge (lower left) at an angle - a non-convex region "
+          "that a single mean-shifted Normal cannot cover.\n")
+
+    results = compare_methods(
+        problem, seed=42,
+        n_second_stage=10_000, n_gibbs=400,
+        n_exploration=5000, doe_budget=1000,
+    )
+    golden = brute_force_monte_carlo(
+        problem.metric, problem.spec, 4_000_000, rng=7
+    )
+
+    rows = []
+    for name, result in results.items():
+        rows.append([
+            name,
+            f"{result.failure_probability:.3e}",
+            f"{100 * result.relative_error:.1f}%",
+            result.n_first_stage,
+            result.n_second_stage,
+        ])
+    rows.append([
+        "golden MC",
+        f"{golden.failure_probability:.3e}",
+        f"{100 * golden.relative_error:.1f}%",
+        0,
+        golden.n_second_stage,
+    ])
+    print(format_table(
+        ["method", "P_f", "99% CI rel. err.", "first stage", "second stage"],
+        rows,
+    ))
+
+    gs = results["G-S"].failure_probability
+    gc = results["G-C"].failure_probability
+    print(f"\nG-S / golden = {gs / golden.failure_probability:.2f}  "
+          f"(accurate);  G-C / golden = {gc / golden.failure_probability:.2f} "
+          "(trapped in one arm of the bent region).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Design-space exploration: failure rate versus access-transistor sizing.
+
+The paper's conclusion points at "parametric yield optimization of SRAM
+circuits" as the natural next step for the Gibbs engine.  This example does
+a small version of that: it sweeps the access-transistor width of the 6-T
+cell and estimates the read-noise-margin failure rate at each size with the
+G-S flow — the classic read-stability / write-ability sizing trade-off,
+quantified at a few thousand simulations per point instead of millions.
+
+Run:  python examples/yield_exploration.py
+"""
+
+from repro import (
+    SixTransistorCell,
+    format_table,
+    gibbs_importance_sampling,
+)
+from repro.analysis.yield_model import repair_yield
+from repro.devices import DeviceGeometry
+from repro.sram.problems import read_noise_margin_problem
+
+
+def main():
+    rows = []
+    for width in (0.16, 0.20, 0.24):
+        cell = SixTransistorCell(
+            geometries={"access": DeviceGeometry(width=width, length=0.10)}
+        )
+        problem = read_noise_margin_problem(cell)
+        nominal = problem.metric(
+            [[0.0] * 6]
+        )[0]
+        result = gibbs_importance_sampling(
+            problem.metric, problem.spec,
+            coordinate_system="spherical",
+            n_gibbs=200, n_second_stage=3000, doe_budget=400,
+            rng=hash(width) % 2**31,
+        )
+        # Roll the cell failure rate up to a 1 Mb array with 2 spare rows
+        # (Poisson repair model) - the number a memory designer signs off.
+        array_yield = repair_yield(
+            result.failure_probability, n_cells=1e6, n_repairable=2
+        )
+        rows.append([
+            f"{width * 1e3:.0f} nm",
+            f"{nominal * 1e3:.0f} mV",
+            f"{result.failure_probability:.2e}",
+            f"{100 * result.relative_error:.0f}%",
+            f"{100 * array_yield:.1f}%",
+            result.n_total,
+        ])
+        print(f"access W = {width:.2f} um -> {result.summary()}")
+
+    print("\n" + format_table(
+        ["access width", "nominal RNM", "P_fail(RNM)", "rel. err.",
+         "1Mb yield (2 spares)", "sims"],
+        rows,
+    ))
+    print(
+        "\nWider access transistors speed up reads but erode the read "
+        "margin; the failure rate quantifies exactly how fast - at a cost "
+        "low enough to embed in a sizing loop."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""repro: Gibbs-sampling importance sampling for SRAM failure-rate prediction.
+
+A from-scratch reproduction of
+
+    S. Sun, Y. Feng, C. Dong, X. Li, "Efficient SRAM Failure Rate
+    Prediction via Gibbs Sampling", DAC 2011 / IEEE TCAD 31(12), 2012,
+
+including the transistor-level simulation substrate (EKV-style devices,
+batched Newton DC solver, 6-T SRAM cell testbench), the Gibbs sampling core
+in Cartesian and spherical coordinates (Algorithms 1-5), the baselines it is
+compared against (MIS, MNIS, brute-force MC, statistical blockade), and the
+experiment harness regenerating every table and figure of Section V.
+
+Quickstart::
+
+    from repro import read_noise_margin_problem, gibbs_importance_sampling
+
+    problem = read_noise_margin_problem()
+    result = gibbs_importance_sampling(
+        problem.metric, problem.spec,
+        coordinate_system="spherical",
+        n_gibbs=400, n_second_stage=5000, rng=0,
+    )
+    print(result.summary())
+"""
+
+from repro.analysis import (
+    METHODS,
+    compare_methods,
+    format_series,
+    format_table,
+    map_failure_region,
+    run_method,
+    sims_to_target_error,
+)
+from repro.baselines import (
+    minimum_norm_importance_sampling,
+    mixture_importance_sampling,
+    statistical_blockade,
+)
+from repro.gibbs import (
+    CartesianGibbs,
+    SphericalGibbs,
+    find_starting_point,
+    gibbs_importance_sampling,
+)
+from repro.mc import (
+    CountedMetric,
+    EstimationResult,
+    FailureSpec,
+    brute_force_monte_carlo,
+    importance_sampling_estimate,
+)
+from repro.sram import (
+    ReadCurrentMetric,
+    ReadNoiseMarginMetric,
+    SixTransistorCell,
+    SramProblem,
+    WriteNoiseMarginMetric,
+    WriteTimeMetric,
+    read_current_problem,
+    read_noise_margin_problem,
+    write_noise_margin_problem,
+    write_time_problem,
+)
+from repro.stats import MultivariateNormal, PCAWhitener
+from repro.synthetic import (
+    AnnularArcMetric,
+    LinearMetric,
+    QuadrantMetric,
+    SphereTailMetric,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core flow
+    "gibbs_importance_sampling",
+    "CartesianGibbs",
+    "SphericalGibbs",
+    "find_starting_point",
+    # MC framework
+    "FailureSpec",
+    "CountedMetric",
+    "EstimationResult",
+    "brute_force_monte_carlo",
+    "importance_sampling_estimate",
+    # baselines
+    "mixture_importance_sampling",
+    "minimum_norm_importance_sampling",
+    "statistical_blockade",
+    # SRAM testbench
+    "SixTransistorCell",
+    "ReadNoiseMarginMetric",
+    "WriteNoiseMarginMetric",
+    "ReadCurrentMetric",
+    "SramProblem",
+    "WriteTimeMetric",
+    "read_noise_margin_problem",
+    "write_noise_margin_problem",
+    "read_current_problem",
+    "write_time_problem",
+    # statistics
+    "MultivariateNormal",
+    "PCAWhitener",
+    # synthetic validation problems
+    "LinearMetric",
+    "QuadrantMetric",
+    "SphereTailMetric",
+    "AnnularArcMetric",
+    # analysis harness
+    "METHODS",
+    "run_method",
+    "compare_methods",
+    "sims_to_target_error",
+    "map_failure_region",
+    "format_table",
+    "format_series",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Experiment harness reproducing the paper's evaluation (Section V).
+
+* :mod:`repro.analysis.experiments` — one entry point per method, method
+  comparisons, and the sims-to-target-error search behind Table I.
+* :mod:`repro.analysis.region` — failure-region mapping (Fig. 13).
+* :mod:`repro.analysis.tables` — plain-text tables and series for the
+  benchmark reports.
+"""
+
+from repro.analysis.diagnostics import AgreementReport, check_agreement
+from repro.analysis.experiments import (
+    METHODS,
+    compare_methods,
+    run_method,
+    sims_to_target_error,
+)
+from repro.analysis.region import map_failure_region, uniform_failure_samples
+from repro.analysis.sweep import SweepPoint, failure_rate_sweep, sweep_table_rows
+from repro.analysis.tables import format_series, format_table
+from repro.analysis.yield_model import (
+    array_failure_probability,
+    cell_budget_for_yield,
+    repair_yield,
+)
+
+__all__ = [
+    "METHODS",
+    "AgreementReport",
+    "check_agreement",
+    "run_method",
+    "compare_methods",
+    "sims_to_target_error",
+    "map_failure_region",
+    "uniform_failure_samples",
+    "format_table",
+    "format_series",
+    "array_failure_probability",
+    "repair_yield",
+    "cell_budget_for_yield",
+    "failure_rate_sweep",
+    "SweepPoint",
+    "sweep_table_rows",
+]

@@ -1,0 +1,110 @@
+"""Method-agreement diagnostics: the paper's Section VI open question.
+
+"For a given circuit where the failure region is unknown, it remains an
+open question how to automatically select the appropriate importance
+sampling algorithm."  The practical danger is that a *biased* importance
+sampler (one whose proposal misses part of the failure region, like G-C or
+MNIS on the read-current problem) still reports a small confidence
+interval: the CI measures variance, not coverage.
+
+These diagnostics implement the standard defence: run several methods whose
+proposals explore differently and test their estimates for *statistical
+consistency*.  Disagreement beyond the combined confidence intervals is
+strong evidence that at least one method is biased — and because coverage
+bias in importance sampling is always downward (missing failure mass can
+only shrink the estimate), the *largest* consistent estimate is the one to
+trust.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.mc.results import EstimationResult
+from repro.stats.confidence import Z_99
+
+
+@dataclass
+class AgreementReport:
+    """Outcome of a cross-method consistency check.
+
+    Attributes
+    ----------
+    consistent:
+        True when every pair of estimates agrees within the combined 99%
+        confidence intervals.
+    conflicts:
+        Pairs of method names whose estimates are mutually inconsistent.
+    recommended:
+        Name of the method whose estimate should be used: the largest
+        estimate among those with finite error (coverage bias is downward).
+    estimates:
+        Method name -> (estimate, absolute 99% CI half-width).
+    """
+
+    consistent: bool
+    conflicts: List[Tuple[str, str]]
+    recommended: str
+    estimates: Dict[str, Tuple[float, float]]
+
+    def summary(self) -> str:
+        lines = []
+        for name, (est, half) in self.estimates.items():
+            lines.append(f"  {name}: {est:.3e} +/- {half:.1e}")
+        verdict = (
+            "estimates are mutually consistent"
+            if self.consistent
+            else "INCONSISTENT estimates: "
+            + ", ".join(f"{a} vs {b}" for a, b in self.conflicts)
+            + " - at least one proposal misses failure mass"
+        )
+        lines.append(f"  -> {verdict}; recommended: {self.recommended}")
+        return "\n".join(lines)
+
+
+def check_agreement(
+    results: Dict[str, EstimationResult],
+    confidence_z: float = Z_99,
+) -> AgreementReport:
+    """Test a panel of estimation results for mutual consistency.
+
+    Two estimates conflict when their difference exceeds the root-sum-square
+    of their CI half-widths (scaled by ``confidence_z`` relative to the 99%
+    half-widths already embedded in ``relative_error``).
+    """
+    if len(results) < 2:
+        raise ValueError("need at least two results to check agreement")
+    estimates: Dict[str, Tuple[float, float]] = {}
+    for name, result in results.items():
+        est = result.failure_probability
+        half = (
+            result.relative_error * est
+            if math.isfinite(result.relative_error)
+            else math.inf
+        )
+        estimates[name] = (est, half * confidence_z / Z_99)
+
+    names = list(estimates)
+    conflicts = []
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            ea, ha = estimates[a]
+            eb, hb = estimates[b]
+            if math.isinf(ha) or math.isinf(hb):
+                continue
+            if abs(ea - eb) > math.hypot(ha, hb):
+                conflicts.append((a, b))
+
+    finite = {
+        n: (e, h) for n, (e, h) in estimates.items() if math.isfinite(h)
+    }
+    pool = finite or estimates
+    recommended = max(pool, key=lambda n: pool[n][0])
+    return AgreementReport(
+        consistent=not conflicts,
+        conflicts=conflicts,
+        recommended=recommended,
+        estimates=estimates,
+    )

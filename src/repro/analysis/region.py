@@ -1,0 +1,99 @@
+"""Failure-region mapping (the construction behind Fig. 13).
+
+Section V-B identifies the 2-D failure region by uniformly sampling the
+variation space and marking the failing points.  These helpers do the same
+on a grid (for region outlines) and with uniform random samples (matching
+the paper's green squares), plus a coarse ASCII rendering used by the
+benchmark reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def map_failure_region(
+    problem,
+    extent: float = 8.0,
+    n_grid: int = 81,
+    variable_pair: Sequence[int] = (0, 1),
+    fixed_values: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate the failure indicator on a 2-D grid slice.
+
+    Returns ``(axis_values, axis_values, fail)`` where ``fail[i, j]`` is the
+    indicator at ``(x_pair0 = axis[i], x_pair1 = axis[j])`` with all other
+    variables held at ``fixed_values``.
+    """
+    axis = np.linspace(-extent, extent, n_grid)
+    a, b = np.meshgrid(axis, axis, indexing="ij")
+    points = np.full((n_grid * n_grid, problem.dimension), float(fixed_values))
+    i, j = tuple(variable_pair)
+    points[:, i] = a.ravel()
+    points[:, j] = b.ravel()
+    fail = problem.indicator(points).reshape(n_grid, n_grid)
+    return axis, axis, fail
+
+
+def uniform_failure_samples(
+    problem,
+    extent: float = 8.0,
+    n_samples: int = 20000,
+    rng: SeedLike = None,
+    variable_pair: Sequence[int] = (0, 1),
+    fixed_values: float = 0.0,
+) -> np.ndarray:
+    """Uniformly sample the 2-D slice and return the failing points.
+
+    This is the paper's "each green square represents a failure point that
+    is randomly sampled from a 2-D uniform distribution" (Fig. 13 caption).
+    """
+    rng = ensure_rng(rng)
+    i, j = tuple(variable_pair)
+    points = np.full((n_samples, problem.dimension), float(fixed_values))
+    points[:, i] = rng.uniform(-extent, extent, n_samples)
+    points[:, j] = rng.uniform(-extent, extent, n_samples)
+    fail = problem.indicator(points)
+    return points[fail][:, (i, j)]
+
+
+def ascii_region(
+    axis_x: np.ndarray,
+    axis_y: np.ndarray,
+    fail: np.ndarray,
+    overlay_points: np.ndarray = None,
+    width: int = 61,
+    height: int = 31,
+) -> str:
+    """Render a failure-region map (and optional sample overlay) as text.
+
+    ``#`` marks failing grid cells, ``*`` overlaid sample points, ``.``
+    passing space; the origin is marked ``+``.  Rows are printed with the
+    second variable increasing upward, matching the paper's plots.
+    """
+    xs = np.linspace(axis_x[0], axis_x[-1], width)
+    ys = np.linspace(axis_y[0], axis_y[-1], height)
+    # Nearest-neighbour lookup into the indicator grid.
+    gi = np.clip(np.searchsorted(axis_x, xs), 0, axis_x.size - 1)
+    gj = np.clip(np.searchsorted(axis_y, ys), 0, axis_y.size - 1)
+    canvas = np.where(fail[np.ix_(gi, gj)], "#", ".")
+
+    if overlay_points is not None and len(overlay_points):
+        px = np.clip(
+            np.searchsorted(xs, overlay_points[:, 0]), 0, width - 1
+        )
+        py = np.clip(
+            np.searchsorted(ys, overlay_points[:, 1]), 0, height - 1
+        )
+        canvas[px, py] = "*"
+
+    ox = int(np.argmin(np.abs(xs)))
+    oy = int(np.argmin(np.abs(ys)))
+    if canvas[ox, oy] == ".":
+        canvas[ox, oy] = "+"
+    rows = ["".join(canvas[:, j]) for j in range(height - 1, -1, -1)]
+    return "\n".join(rows)

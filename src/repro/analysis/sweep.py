@@ -1,0 +1,80 @@
+"""Parameterised failure-rate sweeps: the yield-exploration workhorse.
+
+The paper's conclusion points the Gibbs engine at "parametric yield
+optimization".  The minimal version of that loop is a sweep: evaluate the
+failure rate of a family of problems (one per design knob value — a device
+width, a supply voltage, a spec margin) with a chosen method, and collect
+the results in one table.  Each sweep point gets an independent child
+random stream, so refining the sweep grid never perturbs existing points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.analysis.experiments import run_method
+from repro.mc.results import EstimationResult
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+@dataclass
+class SweepPoint:
+    """One sweep entry: the knob value and its estimation result."""
+
+    value: object
+    result: EstimationResult
+
+
+def failure_rate_sweep(
+    problem_factory: Callable[[object], object],
+    values: Sequence,
+    method: str = "G-S",
+    seed: SeedLike = 0,
+    **run_kwargs,
+) -> List[SweepPoint]:
+    """Estimate the failure rate across a family of problems.
+
+    Parameters
+    ----------
+    problem_factory:
+        Maps a knob value to a problem object (``metric`` / ``spec`` /
+        ``dimension``), e.g.
+        ``lambda w: read_noise_margin_problem(cell_with_access_width(w))``.
+    values:
+        Knob values to sweep.
+    method:
+        Any method label accepted by
+        :func:`repro.analysis.experiments.run_method`.
+    run_kwargs:
+        Budgets forwarded to ``run_method`` (``n_second_stage``,
+        ``n_gibbs``, ...).
+
+    Returns
+    -------
+    One :class:`SweepPoint` per value, in input order.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("values must be non-empty")
+    rngs = spawn_rngs(seed, len(values))
+    points = []
+    for value, rng in zip(values, rngs):
+        problem = problem_factory(value)
+        result = run_method(method, problem, rng=rng, **run_kwargs)
+        points.append(SweepPoint(value=value, result=result))
+    return points
+
+
+def sweep_table_rows(points: Sequence[SweepPoint]) -> List[List[object]]:
+    """Rows (value, P_f, rel. err., total sims) for
+    :func:`repro.analysis.tables.format_table`."""
+    return [
+        [
+            p.value,
+            p.result.failure_probability,
+            p.result.relative_error,
+            p.result.n_total,
+        ]
+        for p in points
+    ]

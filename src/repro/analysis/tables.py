@@ -1,0 +1,60 @@
+"""Plain-text tables and series for benchmark reports.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; these helpers keep that output aligned and readable in
+a terminal and in the captured bench logs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Left-padded ASCII table with a header rule."""
+    rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    line = "  ".join(h.ljust(widths[k]) for k, h in enumerate(headers))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(widths[k]) for k, cell in enumerate(row))
+        for row in rows
+    ]
+    return "\n".join([line, rule] + body)
+
+
+def format_series(
+    x: np.ndarray,
+    series: dict,
+    x_label: str = "n",
+    float_format: str = "{:.4g}",
+) -> str:
+    """Columnar view of several y-series sharing an x-axis (figure data)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for k, xv in enumerate(np.asarray(x)):
+        row = [xv] + [np.asarray(values)[k] for values in series.values()]
+        rows.append(
+            [_cell(v, float_format) if isinstance(v, float) else _cell(v) for v in row]
+        )
+    return format_table(headers, rows)
+
+
+def _cell(value: object, float_format: str = "{:.4g}") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        return float_format.format(value)
+    if isinstance(value, (np.floating,)):
+        return _cell(float(value), float_format)
+    if isinstance(value, (np.integer,)):
+        return str(int(value))
+    return str(value)

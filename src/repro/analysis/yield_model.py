@@ -1,0 +1,76 @@
+"""Array-level yield rollup.
+
+The paper's opening motivation: a cell failure probability of 1e-6 is not
+small when a chip instantiates millions of cells.  These helpers convert
+the cell-level failure probabilities the samplers estimate into the
+array-level quantities designers actually sign off:
+
+* probability that an N-cell array has at least one failing cell,
+* yield with spare-row/column repair (up to ``n_repairable`` failures
+  tolerated, Poisson model — exact in the rare-failure limit),
+* the cell failure-rate budget implied by an array yield target.
+
+All formulas are computed in log space so they stay exact for the
+``p_cell ~ 1e-8, n_cells ~ 1e9`` regime where naive `(1-p)^n` underflows.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import special
+
+
+def _validate(p_cell: float, n_cells: float) -> None:
+    if not 0.0 <= p_cell <= 1.0:
+        raise ValueError(f"p_cell must be a probability, got {p_cell}")
+    if n_cells <= 0:
+        raise ValueError(f"n_cells must be positive, got {n_cells}")
+
+
+def array_failure_probability(p_cell: float, n_cells: float) -> float:
+    """P(at least one of ``n_cells`` independent cells fails).
+
+    Computed as ``-expm1(n log1p(-p))``: stable for tiny ``p_cell`` times
+    huge ``n_cells`` (where both `(1-p)^n` and `1 - n p` go wrong).
+    """
+    _validate(p_cell, n_cells)
+    if p_cell == 1.0:
+        return 1.0
+    return -math.expm1(n_cells * math.log1p(-p_cell))
+
+
+def repair_yield(p_cell: float, n_cells: float, n_repairable: int = 0) -> float:
+    """Array yield when up to ``n_repairable`` failing cells can be repaired.
+
+    Uses the Poisson approximation ``#failures ~ Poisson(n p)`` — exact in
+    the rare-failure limit the whole library lives in — so the yield is the
+    regularised upper incomplete gamma ``Q(n_repairable + 1, n p)``.
+    ``n_repairable = 0`` reduces to ``exp(-n p)``.
+    """
+    _validate(p_cell, n_cells)
+    if n_repairable < 0:
+        raise ValueError(f"n_repairable must be >= 0, got {n_repairable}")
+    lam = n_cells * p_cell
+    return float(special.gammaincc(n_repairable + 1, lam))
+
+
+def cell_budget_for_yield(
+    target_yield: float, n_cells: float, n_repairable: int = 0
+) -> float:
+    """Largest cell failure probability meeting an array yield target.
+
+    Inverts :func:`repair_yield` for ``p_cell``; with no repair this is the
+    classical ``p <= -ln(Y) / N`` budget.
+    """
+    if not 0.0 < target_yield < 1.0:
+        raise ValueError(
+            f"target_yield must be in (0, 1), got {target_yield}"
+        )
+    if n_cells <= 0:
+        raise ValueError(f"n_cells must be positive, got {n_cells}")
+    if n_repairable < 0:
+        raise ValueError(f"n_repairable must be >= 0, got {n_repairable}")
+    # lambda solving Q(k+1, lam) = Y, via the inverse incomplete gamma.
+    lam = float(special.gammainccinv(n_repairable + 1, target_yield))
+    return lam / n_cells

@@ -1,0 +1,24 @@
+"""Baseline importance-sampling methods the paper compares against.
+
+* :mod:`repro.baselines.mis` — mixture importance sampling (Kanj, Joshi,
+  Nassif, DAC 2006; the paper's reference [8]).
+* :mod:`repro.baselines.mnis` — minimum-norm importance sampling (Qazi et
+  al., DATE 2010; the paper's reference [14]).
+* :mod:`repro.baselines.blockade` — statistical blockade (Singhee &
+  Rutenbar, DATE 2007; reference [9]), built as an extension.
+"""
+
+from repro.baselines.blockade import statistical_blockade
+from repro.baselines.mis import MixtureProposal, mixture_importance_sampling
+from repro.baselines.mnis import minimum_norm_importance_sampling
+from repro.baselines.spherical_sampling import spherical_sampling
+from repro.baselines.subset import subset_simulation
+
+__all__ = [
+    "mixture_importance_sampling",
+    "MixtureProposal",
+    "minimum_norm_importance_sampling",
+    "statistical_blockade",
+    "spherical_sampling",
+    "subset_simulation",
+]

@@ -1,0 +1,145 @@
+"""Subset simulation — the sequential-sampling baseline family (ref. [13]).
+
+The paper's related work includes sequential importance sampling for SRAM
+yield (Katayama et al., ICCAD 2010).  The canonical modern form of that
+idea is *subset simulation* (Au & Beck): express the rare failure event as
+a product of conditional, not-so-rare events
+
+    P_f = P(F_1) * prod_i P(F_{i+1} | F_i),
+
+where ``F_i = {margin(x) < l_i}`` for a decreasing ladder of intermediate
+levels ``l_1 > l_2 > ... > l_final = 0``.  Each level is chosen adaptively
+as a quantile of the current population (so each conditional probability is
+~``p0``), and the population is pushed into the next level by a short
+component-wise Metropolis random walk that never leaves ``F_i``.
+
+Strengths: needs only the *signed margin* (no proposal distribution at
+all), handles any region shape, cost grows logarithmically in ``1/P_f``.
+Weaknesses: the estimate is biased for short chains and its error analysis
+is heuristic (correlated samples) — the library reports the standard
+delta-method approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.mc.counter import CountedMetric
+from repro.mc.indicator import FailureSpec
+from repro.mc.results import EstimationResult
+from repro.stats.confidence import Z_99
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def subset_simulation(
+    metric: Callable,
+    spec: FailureSpec,
+    dimension: Optional[int] = None,
+    n_per_level: int = 1000,
+    level_fraction: float = 0.1,
+    max_levels: int = 12,
+    mcmc_step: float = 0.8,
+    rng: SeedLike = None,
+) -> EstimationResult:
+    """Estimate P_f by adaptive subset simulation.
+
+    Parameters
+    ----------
+    n_per_level:
+        Population size per level (also the sims per level, after seeding).
+    level_fraction:
+        Target conditional probability ``p0`` per level (0.1 is standard).
+    mcmc_step:
+        Standard deviation of the component-wise Gaussian proposal of the
+        conditional random walk.
+    max_levels:
+        Safety bound: with ``p0 = 0.1`` this caps detectable failure rates
+        at ``p0^max_levels``.
+    """
+    if not 0.0 < level_fraction < 0.5:
+        raise ValueError(f"level_fraction must be in (0, 0.5), got {level_fraction}")
+    if n_per_level < 10:
+        raise ValueError(f"n_per_level must be >= 10, got {n_per_level}")
+    rng = ensure_rng(rng)
+    counted = metric if isinstance(metric, CountedMetric) else CountedMetric(
+        metric, dimension
+    )
+    dimension = counted.dimension
+
+    n_seeds = max(int(round(level_fraction * n_per_level)), 2)
+
+    # Level 0: plain Monte Carlo.
+    x = rng.standard_normal((n_per_level, dimension))
+    margins = spec.margin(counted(x))
+
+    log_p = 0.0
+    cov_sq_sum = 0.0  # accumulated squared coefficient of variation
+    levels = []
+    for level in range(max_levels):
+        threshold = float(np.partition(margins, n_seeds - 1)[n_seeds - 1])
+        if threshold <= 0.0:
+            # The failure event is within reach of this population: finish.
+            p_final = float(np.mean(margins < 0.0))
+            log_p += math.log(max(p_final, 1e-300))
+            cov_sq_sum += (1.0 - p_final) / max(p_final * n_per_level, 1e-300)
+            levels.append(0.0)
+            break
+        levels.append(threshold)
+        log_p += math.log(level_fraction)
+        # Delta-method CoV of a p0-quantile conditional estimate; the
+        # standard heuristic multiplies by (1 + gamma) for chain
+        # correlation — we fold a fixed gamma ~ 2 in.
+        cov_sq_sum += 3.0 * (1.0 - level_fraction) / (
+            level_fraction * n_per_level
+        )
+
+        # Seeds: the n_seeds samples deepest into the failure direction.
+        order = np.argsort(margins)
+        seeds = x[order[:n_seeds]]
+        seed_margins = margins[order[:n_seeds]]
+
+        # Conditional random walk: replicate seeds and move each chain with
+        # component-wise Metropolis steps that stay below `threshold`.
+        reps = int(math.ceil(n_per_level / n_seeds))
+        x = np.repeat(seeds, reps, axis=0)[:n_per_level].copy()
+        margins = np.repeat(seed_margins, reps)[:n_per_level].copy()
+        n_moves = 3
+        for _ in range(n_moves):
+            proposal = x + mcmc_step * rng.standard_normal(x.shape)
+            # Metropolis ratio for N(0, I) target: accept with
+            # min(1, f(prop)/f(x)); then enforce the level constraint.
+            log_ratio = 0.5 * (
+                np.sum(x * x, axis=1) - np.sum(proposal * proposal, axis=1)
+            )
+            accept = np.log(rng.uniform(size=x.shape[0])) < log_ratio
+            if not np.any(accept):
+                continue
+            prop_margins = np.full(x.shape[0], np.inf)
+            prop_margins[accept] = spec.margin(counted(proposal[accept]))
+            keep = accept & (prop_margins < threshold)
+            x[keep] = proposal[keep]
+            margins[keep] = prop_margins[keep]
+    else:
+        # Ladder exhausted without reaching the failure event.
+        return EstimationResult(
+            method="Subset",
+            failure_probability=0.0,
+            relative_error=math.inf,
+            n_first_stage=0,
+            n_second_stage=counted.count,
+            extras={"levels": levels, "converged": False},
+        )
+
+    estimate = math.exp(log_p)
+    rel = Z_99 * math.sqrt(cov_sq_sum)
+    return EstimationResult(
+        method="Subset",
+        failure_probability=estimate,
+        relative_error=rel,
+        n_first_stage=0,
+        n_second_stage=counted.count,
+        extras={"levels": levels, "converged": True},
+    )

@@ -1,0 +1,33 @@
+"""Batched DC circuit simulation.
+
+A small nodal-analysis engine that stands in for the paper's transistor-level
+simulator.  Its defining feature is that one DC solve is *vectorised across
+Monte-Carlo samples*: all per-device parameters (threshold mismatches) and
+node clamps may be arrays, and the Newton iteration solves every sample of
+the batch simultaneously.  This is what makes the multi-million-sample
+golden Monte Carlo of Table II feasible in pure Python.
+"""
+
+from repro.circuit.netlist import Circuit, CurrentSource, MosfetElement, Resistor
+from repro.circuit.dc_solver import DCSolution, solve_dc
+from repro.circuit.sweep import dc_sweep
+from repro.circuit.transient import (
+    TransientResult,
+    pulse_waveform,
+    simulate_transient,
+    step_waveform,
+)
+
+__all__ = [
+    "Circuit",
+    "MosfetElement",
+    "Resistor",
+    "CurrentSource",
+    "solve_dc",
+    "DCSolution",
+    "dc_sweep",
+    "simulate_transient",
+    "TransientResult",
+    "step_waveform",
+    "pulse_waveform",
+]

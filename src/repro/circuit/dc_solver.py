@@ -1,0 +1,228 @@
+"""Batched damped-Newton DC operating-point solver.
+
+``solve_dc`` finds node voltages satisfying Kirchhoff's current law at every
+unclamped node.  Everything is vectorised across an arbitrary batch axis:
+node clamps and per-element parameters (threshold mismatches) may be arrays,
+and the Newton update ``J dv = -f`` is solved for all batch members at once
+with ``numpy.linalg.solve`` on a stacked ``(batch, n, n)`` Jacobian.
+
+Robustness measures (all standard SPICE practice):
+
+* per-iteration voltage-step limiting (damping),
+* a ``gmin`` conductance added on the Jacobian diagonal,
+* voltage clipping to a window around the supply rails,
+* one automatic restart from an alternative initial guess for any batch
+  members that fail to converge on the first attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.circuit.netlist import GROUND, Circuit
+
+
+@dataclass
+class DCSolution:
+    """Result of a DC solve.
+
+    Attributes
+    ----------
+    circuit:
+        The solved circuit.
+    voltages:
+        Mapping from node name to an array of node voltages with the batch
+        shape of the solve (clamped nodes included).
+    converged:
+        Boolean array (batch shape): which batch members satisfied the
+        residual tolerance.
+    iterations:
+        Total Newton iterations performed (including the restart pass).
+    element_params:
+        Per-element parameter overrides used for the solve, kept so branch
+        currents can be recomputed consistently.
+    """
+
+    circuit: Circuit
+    voltages: Dict[str, np.ndarray]
+    converged: np.ndarray
+    iterations: int
+    element_params: Dict[str, dict]
+
+    def voltage(self, node: str) -> np.ndarray:
+        try:
+            return self.voltages[node]
+        except KeyError:
+            raise KeyError(f"no node named {node!r} in solution") from None
+
+    def branch_current(self, element_name: str) -> np.ndarray:
+        """Branch current of a two/three-terminal element at the solution."""
+        element = self.circuit.element(element_name)
+        terminal_v = tuple(self.voltages[n] for n in element.nodes)
+        params = self.element_params.get(element_name, {})
+        return element.branch_current(terminal_v, **params)
+
+
+def _broadcast_batch(values) -> tuple:
+    """Common batch shape of scalars/arrays in ``values``."""
+    shapes = [np.shape(v) for v in values]
+    return np.broadcast_shapes(*shapes) if shapes else ()
+
+
+def solve_dc(
+    circuit: Circuit,
+    clamps: Dict[str, object],
+    element_params: Optional[Dict[str, dict]] = None,
+    initial: Optional[Dict[str, object]] = None,
+    max_iterations: int = 120,
+    current_tol: float = 1e-11,
+    max_step: float = 0.25,
+    gmin: float = 1e-12,
+    voltage_margin: float = 0.5,
+) -> DCSolution:
+    """Solve the DC operating point of ``circuit``.
+
+    Parameters
+    ----------
+    clamps:
+        Node-name to voltage mapping for ideal sources; ground is clamped to
+        0 V automatically.  Values may be scalars or arrays (batched).
+    element_params:
+        Optional per-element keyword overrides, e.g.
+        ``{"m1": {"delta_vth": dvth_array}}`` — this is how process-variation
+        samples enter a solve.
+    initial:
+        Optional initial guesses for free nodes.  Bistable circuits (an SRAM
+        cell!) converge to the stable state nearest the guess, so callers
+        select the intended state here.
+    """
+    element_params = {name: dict(kw) for name, kw in (element_params or {}).items()}
+    for name in element_params:
+        circuit.element(name)  # validate names early
+
+    all_nodes = circuit.nodes
+    clamp_map = {GROUND: 0.0}
+    for node, value in clamps.items():
+        if node not in all_nodes:
+            raise KeyError(f"clamped node {node!r} not present in circuit")
+        clamp_map[node] = value
+    free_nodes = [n for n in all_nodes if n not in clamp_map]
+
+    # ---------------------------------------------------------- batching
+    batch_values = list(clamp_map.values())
+    for kw in element_params.values():
+        batch_values.extend(kw.values())
+    if initial:
+        batch_values.extend(initial.values())
+    batch_shape = _broadcast_batch(batch_values)
+    n_batch = int(np.prod(batch_shape)) if batch_shape else 1
+
+    def flat(value) -> np.ndarray:
+        return np.broadcast_to(np.asarray(value, dtype=float), batch_shape).reshape(n_batch)
+
+    clamp_flat = {n: flat(v) for n, v in clamp_map.items()}
+    params_flat = {
+        name: {k: flat(v) for k, v in kw.items()} for name, kw in element_params.items()
+    }
+
+    rail_hi = max((float(np.max(v)) for v in clamp_flat.values()), default=1.0)
+    rail_lo = min((float(np.min(v)) for v in clamp_flat.values()), default=0.0)
+    # Node voltages are confined to a window around the rails (standard
+    # SPICE practice for MOSFET circuits); widen ``voltage_margin`` for
+    # circuits whose nodes legitimately swing beyond the rails (current
+    # sources driving resistive loads, charge pumps, ...).
+    v_min, v_max = rail_lo - voltage_margin, rail_hi + voltage_margin
+
+    n_free = len(free_nodes)
+    free_index = {n: i for i, n in enumerate(free_nodes)}
+
+    def initial_guess(default: float) -> np.ndarray:
+        guess = np.full((n_batch, n_free), default)
+        for node, value in (initial or {}).items():
+            if node in free_index:
+                guess[:, free_index[node]] = flat(value)
+        return guess
+
+    # Precompute, per element, the terminal -> free-node scatter indices.
+    compiled = []
+    for element in circuit.elements:
+        rows = [free_index.get(n, -1) for n in element.nodes]
+        compiled.append((element, rows, params_flat.get(element.name, {})))
+
+    def residual_and_jacobian(v_free: np.ndarray):
+        f = np.zeros((n_batch, n_free))
+        jac = np.zeros((n_batch, n_free, n_free))
+        node_v = {n: clamp_flat[n] for n in clamp_flat}
+        for node, idx in free_index.items():
+            node_v[node] = v_free[:, idx]
+        for element, rows, kw in compiled:
+            terminal_v = tuple(node_v[n] for n in element.nodes)
+            currents, partials = element.kcl_contributions(terminal_v, **kw)
+            for i, row in enumerate(rows):
+                if row < 0:
+                    continue
+                f[:, row] += currents[i]
+                for j, col in enumerate(rows):
+                    if col >= 0:
+                        jac[:, row, col] += partials[i][j]
+        jac[:, np.arange(n_free), np.arange(n_free)] += gmin
+        return f, jac
+
+    def newton(v_free: np.ndarray, active: np.ndarray, iters: int, step_cap: float):
+        """Damped Newton on the ``active`` batch members; returns converged mask."""
+        converged = ~active
+        for _ in range(iters):
+            f, jac = residual_and_jacobian(v_free)
+            err = np.abs(f).max(axis=1) if n_free else np.zeros(n_batch)
+            newly = err < current_tol
+            converged = converged | newly
+            if converged.all():
+                break
+            dv = np.linalg.solve(jac, -f[..., np.newaxis])[..., 0]
+            dv = np.clip(dv, -step_cap, step_cap)
+            # Freeze converged members so they stay exactly at their solution.
+            dv[converged] = 0.0
+            v_free = np.clip(v_free + dv, v_min, v_max)
+        else:
+            f, _ = residual_and_jacobian(v_free)
+            err = np.abs(f).max(axis=1) if n_free else np.zeros(n_batch)
+            converged = converged | (err < current_tol)
+        return v_free, converged
+
+    iterations = 0
+    if n_free:
+        v_free = initial_guess(0.5 * (rail_hi + rail_lo))
+        active = np.ones(n_batch, dtype=bool)
+        v_free, converged = newton(v_free, active, max_iterations, max_step)
+        iterations += max_iterations
+        if not converged.all():
+            # Restart stragglers from a rail-adjacent guess with heavy damping.
+            retry = ~converged
+            v_retry = initial_guess(0.9 * rail_hi)
+            v_free = np.where(retry[:, np.newaxis], v_retry, v_free)
+            v_free, converged = newton(v_free, retry, max_iterations, 0.05)
+            iterations += max_iterations
+    else:
+        v_free = np.zeros((n_batch, 0))
+        converged = np.ones(n_batch, dtype=bool)
+
+    def unflatten(arr: np.ndarray) -> np.ndarray:
+        return arr.reshape(batch_shape) if batch_shape else arr.reshape(())
+
+    voltages = {n: unflatten(clamp_flat[n]) for n in clamp_flat}
+    for node, idx in free_index.items():
+        voltages[node] = unflatten(v_free[:, idx])
+
+    return DCSolution(
+        circuit=circuit,
+        voltages=voltages,
+        converged=unflatten(converged),
+        iterations=iterations,
+        element_params={
+            name: {k: unflatten(v) for k, v in kw.items()}
+            for name, kw in params_flat.items()
+        },
+    )

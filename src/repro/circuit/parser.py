@@ -1,0 +1,120 @@
+"""SPICE-flavoured netlist parser.
+
+Downstream users think in netlists, so the circuit layer accepts a small
+SPICE-like text format in addition to the programmatic API::
+
+    * comment lines start with '*' (or '#'); blank lines are ignored
+    M1  q  qb  0    0    nmos  w=0.3  l=0.1     <- Mname d g s b model w l
+    R1  vdd out  10k                            <- Rname a b value
+    I1  out 0    1u                             <- Iname a b value
+
+MOSFET model names are resolved against a :class:`~repro.devices.technology.
+Technology`: ``nmos`` / ``pmos`` (case-insensitive).  Engineering suffixes
+(f, p, n, u, m, k, meg, g) are understood on values.  Node ``0`` is ground.
+
+The parser intentionally covers only what the DC/transient engines can
+simulate — MOSFETs, resistors, current sources — and raises clearly on
+anything else rather than guessing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from repro.circuit.netlist import Circuit
+from repro.devices.technology import DeviceGeometry, Technology, default_technology
+
+_SUFFIXES = {
+    "f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6, "m": 1e-3,
+    "k": 1e3, "meg": 1e6, "g": 1e9,
+}
+
+_VALUE_RE = re.compile(r"^([-+]?\d*\.?\d+(?:[eE][-+]?\d+)?)(meg|[fpnumkg])?$", re.IGNORECASE)
+
+
+def parse_value(token: str) -> float:
+    """Parse a numeric token with an optional engineering suffix."""
+    match = _VALUE_RE.match(token.strip())
+    if not match:
+        raise ValueError(f"cannot parse value {token!r}")
+    base = float(match.group(1))
+    suffix = (match.group(2) or "").lower()
+    return base * _SUFFIXES.get(suffix, 1.0)
+
+
+def _parse_kv(tokens) -> Dict[str, float]:
+    out = {}
+    for token in tokens:
+        if "=" not in token:
+            raise ValueError(f"expected key=value parameter, got {token!r}")
+        key, _, raw = token.partition("=")
+        out[key.lower()] = parse_value(raw)
+    return out
+
+
+def parse_netlist(
+    text: str,
+    technology: Optional[Technology] = None,
+    name: str = "netlist",
+) -> Circuit:
+    """Build a :class:`~repro.circuit.netlist.Circuit` from netlist text.
+
+    Raises ``ValueError`` with the offending line number on any syntax or
+    unsupported-element problem.
+    """
+    tech = technology or default_technology()
+    circuit = Circuit(name)
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("*") or line.startswith("#"):
+            continue
+        tokens = line.split()
+        card = tokens[0]
+        kind = card[0].upper()
+        try:
+            if kind == "M":
+                if len(tokens) < 6:
+                    raise ValueError(
+                        "MOSFET card needs: name drain gate source bulk model"
+                    )
+                _, d, g, s, b, model, *params = tokens
+                kv = _parse_kv(params)
+                geometry = DeviceGeometry(
+                    width=kv.pop("w", 0.2), length=kv.pop("l", 0.1)
+                )
+                if kv:
+                    raise ValueError(f"unknown MOSFET parameters: {sorted(kv)}")
+                model_l = model.lower()
+                if model_l == "nmos":
+                    device = tech.nmos(geometry)
+                elif model_l == "pmos":
+                    device = tech.pmos(geometry)
+                else:
+                    raise ValueError(
+                        f"unknown MOSFET model {model!r} (use nmos/pmos)"
+                    )
+                circuit.add_mosfet(card, device, drain=d, gate=g, source=s, bulk=b)
+            elif kind == "R":
+                if len(tokens) != 4:
+                    raise ValueError("resistor card needs: name a b value")
+                _, a, b, value = tokens
+                circuit.add_resistor(card, parse_value(value), a, b)
+            elif kind == "I":
+                if len(tokens) != 4:
+                    raise ValueError("current-source card needs: name a b value")
+                _, a, b, value = tokens
+                circuit.add_current_source(card, parse_value(value), a, b)
+            elif kind == "V":
+                raise ValueError(
+                    "voltage sources are applied at solve time (pass node "
+                    "clamps to solve_dc / simulate_transient), not in the "
+                    "netlist"
+                )
+            else:
+                raise ValueError(f"unsupported element card {card!r}")
+        except ValueError as exc:
+            raise ValueError(f"netlist line {lineno}: {exc}") from None
+    if not circuit.elements:
+        raise ValueError("netlist contains no elements")
+    return circuit

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows without writing any Python:
+
+* ``estimate`` — run one method on a built-in problem::
+
+      python -m repro estimate --problem iread --method G-S \
+          --n-gibbs 300 --n-second 5000 --seed 0
+
+* ``compare`` — run a panel of methods with agreement diagnostics::
+
+      python -m repro compare --problem rnm --methods MNIS G-S --seed 7
+
+* ``region`` — print the ASCII failure-region map of a 2-D problem::
+
+      python -m repro region --problem iread --extent 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.diagnostics import check_agreement
+from repro.analysis.experiments import METHODS, compare_methods, run_method
+from repro.analysis.region import ascii_region, map_failure_region
+from repro.mc.diagnostics import diagnose_weights
+from repro.sram.problems import (
+    read_current_problem,
+    read_noise_margin_problem,
+    write_noise_margin_problem,
+    write_time_problem,
+)
+
+PROBLEMS = {
+    "rnm": read_noise_margin_problem,
+    "wnm": write_noise_margin_problem,
+    "iread": read_current_problem,
+    "twrite": write_time_problem,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SRAM failure-rate prediction via Gibbs sampling "
+        "(DAC'11 / TCAD'12 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument(
+            "--problem", choices=sorted(PROBLEMS), default="iread",
+            help="built-in problem instance (default: iread)",
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--n-second", type=int, default=5000,
+                       help="second-stage simulations N")
+        p.add_argument("--n-gibbs", type=int, default=300,
+                       help="first-stage Gibbs samples K")
+        p.add_argument("--doe-budget", type=int, default=None,
+                       help="surrogate/DOE simulation budget")
+
+    est = sub.add_parser("estimate", help="run one estimation method")
+    add_common(est)
+    est.add_argument(
+        "--method", choices=METHODS + ("MC",), default="G-S"
+    )
+
+    cmp_ = sub.add_parser("compare", help="run several methods and check agreement")
+    add_common(cmp_)
+    cmp_.add_argument(
+        "--methods", nargs="+", choices=METHODS, default=list(METHODS)
+    )
+
+    reg = sub.add_parser("region", help="ASCII failure-region map (2-D problems)")
+    reg.add_argument(
+        "--problem", choices=sorted(PROBLEMS), default="iread"
+    )
+    reg.add_argument("--extent", type=float, default=8.0)
+    reg.add_argument("--grid", type=int, default=61)
+    return parser
+
+
+def _cmd_estimate(args) -> int:
+    problem = PROBLEMS[args.problem]()
+    print(f"problem: {problem.description}")
+    result = run_method(
+        args.method, problem, rng=args.seed,
+        n_second_stage=args.n_second, n_gibbs=args.n_gibbs,
+        doe_budget=args.doe_budget,
+    )
+    print(result.summary())
+    chain = result.extras.get("chain")
+    if chain is not None:
+        print(
+            f"chain: {chain.n_samples} Gibbs samples at "
+            f"{chain.simulations_per_sample:.1f} sims/sample"
+        )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    problem = PROBLEMS[args.problem]()
+    print(f"problem: {problem.description}")
+    results = compare_methods(
+        problem, methods=tuple(args.methods), seed=args.seed,
+        n_second_stage=args.n_second, n_gibbs=args.n_gibbs,
+        doe_budget=args.doe_budget,
+    )
+    for result in results.values():
+        print(" ", result.summary())
+    if len(results) >= 2:
+        print("agreement check:")
+        print(check_agreement(results).summary())
+    return 0
+
+
+def _cmd_region(args) -> int:
+    problem = PROBLEMS[args.problem]()
+    if problem.dimension != 2:
+        print(
+            f"error: problem {args.problem!r} has dimension "
+            f"{problem.dimension}; the region map is 2-D only (use iread)",
+            file=sys.stderr,
+        )
+        return 2
+    axis_x, axis_y, fail = map_failure_region(
+        problem, extent=args.extent, n_grid=args.grid
+    )
+    print(f"problem: {problem.description}")
+    print(ascii_region(axis_x, axis_y, fail, width=61, height=25))
+    print(f"failing fraction of the map: {fail.mean():.3f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "estimate": _cmd_estimate,
+        "compare": _cmd_compare,
+        "region": _cmd_region,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

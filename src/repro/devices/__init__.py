@@ -1,0 +1,24 @@
+"""Transistor compact models and technology parameters.
+
+This package is the bottom of the simulation substrate that replaces the
+paper's HSPICE + 90nm PDK: a smooth EKV-style MOSFET model
+(:mod:`repro.devices.mosfet`) and a 90nm-flavoured parameter set with a
+Pelgrom mismatch model (:mod:`repro.devices.technology`).
+"""
+
+from repro.devices.mosfet import Mosfet, MosfetParams, NMOS, PMOS
+from repro.devices.technology import (
+    DeviceGeometry,
+    Technology,
+    default_technology,
+)
+
+__all__ = [
+    "Mosfet",
+    "MosfetParams",
+    "NMOS",
+    "PMOS",
+    "DeviceGeometry",
+    "Technology",
+    "default_technology",
+]

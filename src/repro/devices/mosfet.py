@@ -1,0 +1,176 @@
+"""Smooth EKV-style MOSFET compact model.
+
+The statistical algorithms in this library treat the circuit as a black box,
+but the *shape* of the failure regions they explore is set by the device
+physics.  This model is a simplified EKV formulation chosen for three
+properties that matter here:
+
+* **One equation for all regions.**  The interpolation function
+  ``F(u) = ln(1 + exp(u/2))^2`` smoothly covers subthreshold, triode and
+  saturation, so margins and currents are C-infinity in the threshold-voltage
+  mismatch inputs — no kinks to confuse Newton solves, binary searches or
+  surrogate fits.
+* **Physical tail behaviour.**  Subthreshold conduction decays
+  exponentially, which is what makes extreme (5-6 sigma) Vth excursions —
+  exactly where SRAM failures live — behave realistically.
+* **Analytic derivatives**, used by the DC solver's Newton iterations.
+
+Currents follow the source/drain-symmetric EKV form
+
+    I_D = I_spec * (F(v_p - v_s) - F(v_p - v_d)) * (1 + lambda * (v_d - v_s))
+
+with ``v_p = (v_g - v_th) / n`` the pinch-off voltage and
+``I_spec = 2 n beta U_T^2``; all voltages are in units referenced to the
+NMOS convention (PMOS is handled by sign reflection).  Channel-length
+modulation enters through the smooth ``(1 + lambda (v_d - v_s))`` factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import numpy as np
+
+#: Thermal voltage kT/q at 300 K, in volts.
+THERMAL_VOLTAGE = 0.02585
+
+#: Polarity constants.
+NMOS = 1
+PMOS = -1
+
+
+def _interp_f(u: np.ndarray) -> np.ndarray:
+    """EKV interpolation function F(u) = ln(1 + exp(u/2))^2, stable for all u."""
+    half = 0.5 * np.asarray(u, dtype=float)
+    soft = np.logaddexp(0.0, half)  # ln(1 + exp(u/2)) without overflow
+    return soft * soft
+
+
+def _interp_f_and_deriv(u: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return F(u) and dF/du = ln(1+exp(u/2)) * sigmoid(u/2)."""
+    half = 0.5 * np.asarray(u, dtype=float)
+    soft = np.logaddexp(0.0, half)
+    # sigmoid(u/2) from the always-decaying exponential: stable in both
+    # tails and branch-free (this sits in the innermost solver loop).
+    decay = np.exp(-np.abs(half))
+    sig = np.where(half >= 0.0, 1.0 / (1.0 + decay), decay / (1.0 + decay))
+    return soft * soft, soft * sig
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Electrical parameters of one MOSFET.
+
+    Attributes
+    ----------
+    polarity:
+        ``NMOS`` (+1) or ``PMOS`` (-1).
+    vth:
+        Threshold-voltage magnitude in volts (positive for both polarities).
+    beta:
+        Transconductance factor ``kp * W / L`` in A/V^2.
+    n:
+        Subthreshold slope factor (typically 1.2-1.6).
+    lam:
+        Channel-length modulation coefficient in 1/V.
+    """
+
+    polarity: int
+    vth: float
+    beta: float
+    n: float = 1.4
+    lam: float = 0.15
+
+    def __post_init__(self):
+        if self.polarity not in (NMOS, PMOS):
+            raise ValueError(f"polarity must be NMOS (+1) or PMOS (-1), got {self.polarity}")
+        if self.beta <= 0:
+            raise ValueError(f"beta must be positive, got {self.beta}")
+        if self.n <= 0:
+            raise ValueError(f"subthreshold slope factor must be positive, got {self.n}")
+
+    def with_vth_shift(self, delta_vth) -> "MosfetParams":
+        """Return parameters with the threshold magnitude shifted by ``delta_vth``.
+
+        For scalar shifts only; batched shifts are passed per-call to
+        :meth:`Mosfet.current`.
+        """
+        return replace(self, vth=self.vth + float(delta_vth))
+
+
+class Mosfet:
+    """A MOSFET instance evaluating drain current and small-signal derivatives.
+
+    All voltage arguments are node potentials referenced to ground and may be
+    NumPy arrays of any (mutually broadcastable) shape, which is how the
+    batched Monte-Carlo evaluation works: one call evaluates the device for
+    every process-variation sample at once.
+    """
+
+    def __init__(self, params: MosfetParams):
+        self.params = params
+
+    def current(self, vg, vd, vs, vb=0.0, delta_vth=0.0) -> np.ndarray:
+        """Drain current (A) flowing from drain to source (NMOS convention).
+
+        For PMOS the same convention holds: a conducting PMOS with source at
+        VDD and drain lower returns a *negative* value (current flows out of
+        the drain node into the circuit when stamped with the right sign).
+
+        ``vb`` is the bulk potential (0 for an NMOS in a grounded p-well,
+        VDD for a PMOS in an n-well).  The EKV pinch-off voltage is
+        bulk-referenced, so getting this right is what keeps a PMOS with
+        VGS = 0 actually off.
+
+        ``delta_vth`` is the local threshold mismatch (V), broadcast against
+        the voltage arrays — this is where the paper's random variables
+        ``Delta V_TH`` enter the substrate.
+        """
+        ids, _, _, _ = self.current_and_derivs(vg, vd, vs, vb, delta_vth)
+        return ids
+
+    def current_and_derivs(self, vg, vd, vs, vb=0.0, delta_vth=0.0):
+        """Return ``(ids, d_ids/d_vg, d_ids/d_vd, d_ids/d_vs)``.
+
+        Derivatives are exact (analytic), as required by the Newton DC
+        solver.  The bulk derivative is not returned separately because the
+        bulk is always tied to a clamped rail in this library; it equals
+        ``-(d_vg + d_vd + d_vs)`` by translation invariance if ever needed.
+        """
+        p = self.params
+        sgn = float(p.polarity)
+        # Reference to the bulk, then reflect PMOS into the NMOS frame:
+        # v' = polarity * (v - vb), I' = polarity * I.
+        vb = np.asarray(vb, dtype=float)
+        vg_n = sgn * (np.asarray(vg, dtype=float) - vb)
+        vd_n = sgn * (np.asarray(vd, dtype=float) - vb)
+        vs_n = sgn * (np.asarray(vs, dtype=float) - vb)
+
+        ut = THERMAL_VOLTAGE
+        vth = p.vth + np.asarray(delta_vth, dtype=float)
+        vp = (vg_n - vth) / p.n
+        i_spec = 2.0 * p.n * p.beta * ut * ut
+
+        ff, dff = _interp_f_and_deriv((vp - vs_n) / ut)
+        fr, dfr = _interp_f_and_deriv((vp - vd_n) / ut)
+        core = ff - fr
+        clm = 1.0 + p.lam * (vd_n - vs_n)
+
+        ids_n = i_spec * core * clm
+
+        # Partials in the NMOS frame.
+        d_vp = 1.0 / p.n
+        d_core_dvg = (dff - dfr) * d_vp / ut
+        d_core_dvd = -dfr * (-1.0 / ut)  # d/dvd of fr term: fr' * (-1/ut), minus sign
+        d_core_dvs = -dff / ut
+        d_ids_dvg = i_spec * d_core_dvg * clm
+        d_ids_dvd = i_spec * (d_core_dvd * clm + core * p.lam)
+        d_ids_dvs = i_spec * (d_core_dvs * clm - core * p.lam)
+
+        # Map back: I = sgn * I_n(v' = sgn*v) -> dI/dv = sgn * dI_n/dv' * sgn = dI_n/dv'.
+        return sgn * ids_n, d_ids_dvg, d_ids_dvd, d_ids_dvs
+
+    def __repr__(self) -> str:
+        kind = "NMOS" if self.params.polarity == NMOS else "PMOS"
+        return f"Mosfet({kind}, vth={self.params.vth:.3f} V, beta={self.params.beta:.2e})"

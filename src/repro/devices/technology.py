@@ -1,0 +1,110 @@
+"""90nm-flavoured technology description and Pelgrom mismatch model.
+
+The paper's test case is a 6-T SRAM cell in a 90 nm CMOS process whose local
+threshold-voltage mismatches are modelled as jointly Normal (Section V).
+This module provides the deterministic side of that set-up: nominal device
+parameters per cell role, and per-device mismatch sigmas from the Pelgrom
+law ``sigma_vth = A_vt / sqrt(W * L)``.
+
+The numbers are representative of a generic 90 nm node (VDD = 1.2 V,
+|Vth0| ~ 0.35 V, A_vt ~ 4.5 mV*um); they are not any foundry's PDK, which is
+exactly the substitution DESIGN.md documents.  The statistical algorithms
+only see a smooth metric with Normal mismatch inputs, which this provides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.devices.mosfet import NMOS, PMOS, MosfetParams
+
+
+@dataclass(frozen=True)
+class DeviceGeometry:
+    """Drawn geometry of one transistor (micrometres)."""
+
+    width: float
+    length: float
+
+    def __post_init__(self):
+        if self.width <= 0 or self.length <= 0:
+            raise ValueError(f"geometry must be positive, got W={self.width}, L={self.length}")
+
+    @property
+    def area(self) -> float:
+        return self.width * self.length
+
+    @property
+    def ratio(self) -> float:
+        return self.width / self.length
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process corner + mismatch description used to build SRAM cells.
+
+    Attributes
+    ----------
+    vdd:
+        Supply voltage (V).
+    vth_n, vth_p:
+        Nominal threshold magnitudes (V).
+    kp_n, kp_p:
+        Process transconductance ``mu * Cox`` (A/V^2) for NMOS/PMOS.
+    slope_n, slope_p:
+        Subthreshold slope factors.
+    lam:
+        Channel-length modulation coefficient (1/V).
+    avt:
+        Pelgrom mismatch coefficient (V * um): ``sigma_vth = avt / sqrt(W L)``.
+    """
+
+    vdd: float = 1.2
+    vth_n: float = 0.35
+    vth_p: float = 0.35
+    kp_n: float = 3.0e-4
+    kp_p: float = 1.0e-4
+    slope_n: float = 1.35
+    slope_p: float = 1.45
+    lam: float = 0.15
+    avt: float = 4.5e-3
+
+    def nmos(self, geometry: DeviceGeometry) -> MosfetParams:
+        """Nominal NMOS parameters for the given geometry."""
+        return MosfetParams(
+            polarity=NMOS,
+            vth=self.vth_n,
+            beta=self.kp_n * geometry.ratio,
+            n=self.slope_n,
+            lam=self.lam,
+        )
+
+    def pmos(self, geometry: DeviceGeometry) -> MosfetParams:
+        """Nominal PMOS parameters for the given geometry."""
+        return MosfetParams(
+            polarity=PMOS,
+            vth=self.vth_p,
+            beta=self.kp_p * geometry.ratio,
+            n=self.slope_p,
+            lam=self.lam,
+        )
+
+    def sigma_vth(self, geometry: DeviceGeometry) -> float:
+        """Pelgrom mismatch sigma (V) for the given geometry."""
+        return self.avt / math.sqrt(geometry.area)
+
+
+#: Default 6-T cell geometries (um): a typical high-density 90nm cell with
+#: cell ratio (pull-down / access) ~ 1.5 and pull-up ratio < 1.
+DEFAULT_GEOMETRIES: Dict[str, DeviceGeometry] = {
+    "pull_down": DeviceGeometry(width=0.30, length=0.10),
+    "access": DeviceGeometry(width=0.20, length=0.10),
+    "pull_up": DeviceGeometry(width=0.15, length=0.10),
+}
+
+
+def default_technology() -> Technology:
+    """The technology instance used by all paper-reproduction experiments."""
+    return Technology()

@@ -1,0 +1,54 @@
+"""1-D inverse-transform conditional sampling (Algorithm 3).
+
+Combines the failure-interval binary search with truncated-law
+inverse-transform sampling: the conditional PDFs of Eqs. (22), (24), (25)
+are all "base law restricted to the failure slice", so one draw is
+
+1. binary-search ``[u, v]`` (transistor-level simulations — the entire
+   cost),
+2. draw ``s ~ U[F(u), F(v)]`` and return ``F^{-1}(s)`` (free).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.gibbs.bounds import FailureInterval, failure_interval
+from repro.stats.truncated import TruncatedDistribution
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def sample_conditional_1d(
+    fails: Callable[[np.ndarray], np.ndarray],
+    current: float,
+    base,
+    lo: float,
+    hi: float,
+    rng: SeedLike = None,
+    bisect_iters: int = 5,
+) -> Tuple[float, FailureInterval]:
+    """Draw one value from the 1-D Gibbs conditional around ``current``.
+
+    ``base`` is the coordinate's marginal law (StandardNormal for ``x_m`` /
+    ``alpha_m``, Chi(M) for ``r``).  Returns the new coordinate value and
+    the searched interval (whose ``n_simulations`` the caller accumulates).
+
+    Degenerate guard: if the verified interval has collapsed to (numerical)
+    zero width — possible when the failure slice is narrower than the
+    bisection resolution — the current value is kept, costing the search
+    simulations but moving nothing, which mirrors how a SPICE-driven
+    implementation would behave.
+    """
+    rng = ensure_rng(rng)
+    interval = failure_interval(fails, current, lo, hi, bisect_iters)
+    if not interval.lower < interval.upper:
+        return float(current), interval
+    try:
+        trunc = TruncatedDistribution(base, interval.lower, interval.upper)
+    except ValueError:
+        # Zero probability mass at the resolution of the CDF (deep tail):
+        # keep the current value rather than fabricating a draw.
+        return float(current), interval
+    return float(trunc.sample(rng)), interval

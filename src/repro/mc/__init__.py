@@ -1,0 +1,24 @@
+"""Monte-Carlo estimation framework.
+
+The layer between metrics (black-box simulations) and sampling algorithms:
+pass/fail specifications (:mod:`repro.mc.indicator`), simulation-count
+instrumentation (:mod:`repro.mc.counter`), result containers with
+convergence traces (:mod:`repro.mc.results`), the brute-force estimator of
+Eq. (5) (:mod:`repro.mc.montecarlo`) and the generic importance-sampling
+second stage of Eqs. (7)/(33) (:mod:`repro.mc.importance`).
+"""
+
+from repro.mc.counter import CountedMetric
+from repro.mc.importance import importance_sampling_estimate
+from repro.mc.indicator import FailureSpec
+from repro.mc.montecarlo import brute_force_monte_carlo
+from repro.mc.results import ConvergenceTrace, EstimationResult
+
+__all__ = [
+    "FailureSpec",
+    "CountedMetric",
+    "EstimationResult",
+    "ConvergenceTrace",
+    "brute_force_monte_carlo",
+    "importance_sampling_estimate",
+]

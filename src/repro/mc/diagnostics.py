@@ -1,0 +1,72 @@
+"""Importance-sampling weight diagnostics.
+
+The confidence interval of Eq. (33) assumes the weight population is well
+behaved; in practice a poor proposal shows up as a few gigantic weights
+dominating the sum.  These classic diagnostics quantify that:
+
+* **effective sample size** (Kish): ``ESS = (sum w)^2 / sum w^2`` — how many
+  equally-weighted samples the estimate is really worth;
+* **weight concentration**: the fraction of the total weight carried by the
+  single largest weight (near 1 = the estimate hangs off one lucky draw);
+* an overall health verdict combining both.
+
+They operate on the failing samples' weights only (passing samples carry
+weight zero by construction and say nothing about proposal quality).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WeightDiagnostics:
+    """Summary of an importance-sampling weight population."""
+
+    n_weights: int
+    effective_sample_size: float
+    max_weight_fraction: float
+
+    @property
+    def efficiency(self) -> float:
+        """ESS / n: 1.0 for the optimal proposal, -> 0 as weights degenerate."""
+        if self.n_weights == 0:
+            return 0.0
+        return self.effective_sample_size / self.n_weights
+
+    @property
+    def healthy(self) -> bool:
+        """A pragmatic verdict: enough effective samples, none dominant."""
+        return (
+            self.effective_sample_size >= 30.0
+            and self.max_weight_fraction <= 0.2
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_weights} failing weights, ESS = "
+            f"{self.effective_sample_size:.1f} "
+            f"(efficiency {100 * self.efficiency:.0f}%), max weight carries "
+            f"{100 * self.max_weight_fraction:.0f}% of the total -> "
+            f"{'healthy' if self.healthy else 'DEGENERATE'}"
+        )
+
+
+def diagnose_weights(weights: np.ndarray) -> WeightDiagnostics:
+    """Diagnose a full second-stage weight vector (zeros included or not)."""
+    weights = np.asarray(weights, dtype=float)
+    if np.any(weights < 0):
+        raise ValueError("importance weights must be non-negative")
+    nonzero = weights[weights > 0]
+    if nonzero.size == 0:
+        return WeightDiagnostics(0, 0.0, 0.0)
+    total = float(nonzero.sum())
+    ess = total * total / float(np.sum(nonzero * nonzero))
+    return WeightDiagnostics(
+        n_weights=int(nonzero.size),
+        effective_sample_size=ess,
+        max_weight_fraction=float(nonzero.max() / total),
+    )

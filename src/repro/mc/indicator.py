@@ -1,0 +1,50 @@
+"""Pass/fail specifications: the indicator function I(x) of Eq. (4).
+
+A :class:`FailureSpec` turns a continuous performance value into the
+indicator of the failure region Omega.  It also exposes the *signed margin*
+(positive = pass), which is what binary searches and surrogate optimisers
+use to locate the failure boundary as the zero crossing of a continuous
+function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Failure criterion for one performance metric.
+
+    Attributes
+    ----------
+    threshold:
+        The specification value.
+    fail_below:
+        If True (default) the sample fails when ``value < threshold`` —
+        correct for noise margins and read current, which must *exceed* a
+        minimum.  If False, failure is ``value > threshold``.
+    """
+
+    threshold: float
+    fail_below: bool = True
+
+    def indicator(self, values: np.ndarray) -> np.ndarray:
+        """Boolean failure indicator for an array of metric values."""
+        values = np.asarray(values, dtype=float)
+        if self.fail_below:
+            return values < self.threshold
+        return values > self.threshold
+
+    def margin(self, values: np.ndarray) -> np.ndarray:
+        """Signed distance to the spec: positive = pass, negative = fail."""
+        values = np.asarray(values, dtype=float)
+        if self.fail_below:
+            return values - self.threshold
+        return self.threshold - values
+
+    def __str__(self) -> str:
+        op = "<" if self.fail_below else ">"
+        return f"fails when value {op} {self.threshold:g}"

@@ -1,0 +1,82 @@
+"""Brute-force Monte-Carlo failure-rate estimation (Eq. 5).
+
+Draws samples directly from the process-variation law f(x) = N(0, I) and
+averages the failure indicator.  Hopelessly slow for real SRAM failure
+rates — which is the paper's premise — but indispensable as the golden
+reference of Table II, where 8.7 million raw samples validate the
+importance-sampling methods.  Evaluation streams in chunks so the memory
+footprint stays flat no matter how many samples are requested.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.mc.indicator import FailureSpec
+from repro.mc.results import ConvergenceTrace, EstimationResult
+from repro.stats.confidence import montecarlo_relative_error
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def brute_force_monte_carlo(
+    metric: Callable,
+    spec: FailureSpec,
+    n_samples: int,
+    dimension: Optional[int] = None,
+    rng: SeedLike = None,
+    chunk_size: int = 65536,
+    trace_points: int = 100,
+) -> EstimationResult:
+    """Estimate P_f by plain Monte Carlo with ``n_samples`` simulations.
+
+    The convergence trace records the running estimate at ``trace_points``
+    logarithmically spaced counts, so sims-to-accuracy comparisons against
+    importance sampling are possible without storing every indicator.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    dimension = dimension if dimension is not None else getattr(metric, "dimension")
+    rng = ensure_rng(rng)
+
+    checkpoints = np.unique(
+        np.geomspace(10, n_samples, trace_points).astype(int)
+    )
+    trace_n, trace_est, trace_rel = [], [], []
+
+    failures = 0
+    seen = 0
+    next_cp = 0
+    while seen < n_samples:
+        take = min(chunk_size, n_samples - seen)
+        x = rng.standard_normal((take, dimension))
+        fail = spec.indicator(metric(x))
+        # Record running stats at every checkpoint inside this chunk.
+        cum_inside = np.cumsum(fail)
+        while next_cp < checkpoints.size and checkpoints[next_cp] <= seen + take:
+            at = checkpoints[next_cp]
+            f_at = failures + int(cum_inside[at - seen - 1])
+            trace_n.append(at)
+            trace_est.append(f_at / at)
+            trace_rel.append(montecarlo_relative_error(f_at, at))
+            next_cp += 1
+        failures += int(fail.sum())
+        seen += take
+
+    estimate = failures / n_samples
+    rel = montecarlo_relative_error(failures, n_samples)
+    trace = ConvergenceTrace(
+        n_samples=np.asarray(trace_n),
+        estimate=np.asarray(trace_est, dtype=float),
+        relative_error=np.asarray(trace_rel, dtype=float),
+    )
+    return EstimationResult(
+        method="MC",
+        failure_probability=estimate,
+        relative_error=rel,
+        n_first_stage=0,
+        n_second_stage=n_samples,
+        trace=trace,
+        extras={"n_failures": failures},
+    )

@@ -1,0 +1,132 @@
+"""Result containers: estimates, confidence traces, per-method records.
+
+A :class:`ConvergenceTrace` records estimate and 99%-CI relative error as a
+function of the number of second-stage simulations — the raw material of
+the paper's Figs. 6, 7 and 12.  An :class:`EstimationResult` bundles one
+method's final numbers with its trace and simulation accounting — one row
+of Tables I and II.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.stats.confidence import Z_99
+
+
+@dataclass
+class ConvergenceTrace:
+    """Estimate and relative error versus sample count.
+
+    Attributes
+    ----------
+    n_samples:
+        Increasing sample counts at which the running estimate was recorded.
+    estimate:
+        Running failure-probability estimate at each count.
+    relative_error:
+        Running 99%-CI relative error at each count (``inf`` until the first
+        failure is observed).
+    """
+
+    n_samples: np.ndarray
+    estimate: np.ndarray
+    relative_error: np.ndarray
+
+    @classmethod
+    def from_weights(
+        cls,
+        weights: np.ndarray,
+        n_points: int = 200,
+        confidence_z: float = Z_99,
+    ) -> "ConvergenceTrace":
+        """Build the running-estimate trace of an IS/MC weight sequence.
+
+        ``weights`` is the per-sample estimator contribution in sample order
+        (indicator times likelihood ratio; plain 0/1 for brute-force MC).
+        """
+        weights = np.asarray(weights, dtype=float)
+        n = weights.size
+        if n < 2:
+            raise ValueError("need at least 2 weights to build a trace")
+        counts = np.arange(1, n + 1)
+        csum = np.cumsum(weights)
+        csq = np.cumsum(weights * weights)
+        mean = csum / counts
+        # Unbiased running variance; first entry has no df, patched below.
+        with np.errstate(invalid="ignore", divide="ignore"):
+            var = np.maximum(csq - counts * mean * mean, 0.0) / np.maximum(counts - 1, 1)
+            half = confidence_z * np.sqrt(var / counts)
+            rel = np.where(mean > 0, half / np.where(mean > 0, mean, 1.0), np.inf)
+        rel[0] = np.inf
+        idx = np.unique(np.linspace(1, n - 1, min(n_points, n - 1)).astype(int))
+        return cls(
+            n_samples=counts[idx], estimate=mean[idx], relative_error=rel[idx]
+        )
+
+    def samples_to_error(self, target: float) -> Optional[int]:
+        """Smallest recorded count whose error stays at/below ``target``.
+
+        "Stays" means the running error never rises back above the target at
+        any later recorded point, which avoids declaring premature
+        convergence on a lucky dip.
+        """
+        below = self.relative_error <= target
+        # suffix-AND: True where all subsequent points are below target.
+        stays = np.logical_and.accumulate(below[::-1])[::-1]
+        hits = np.nonzero(stays)[0]
+        if hits.size == 0:
+            return None
+        return int(self.n_samples[hits[0]])
+
+
+@dataclass
+class EstimationResult:
+    """Final outcome of one failure-rate estimation flow.
+
+    Attributes
+    ----------
+    method:
+        Method label ("MIS", "MNIS", "G-C", "G-S", "MC", ...).
+    failure_probability:
+        The estimate of P_f.
+    relative_error:
+        99%-CI relative error at the final sample count.
+    n_first_stage:
+        Simulations spent before parametric sampling started (model
+        building, failure-region search, Gibbs chain).
+    n_second_stage:
+        Simulations spent drawing from the learned distribution.
+    trace:
+        Convergence trace over the second stage (None if not recorded).
+    extras:
+        Method-specific artefacts (second-stage samples for scatter plots,
+        the fitted proposal, chain diagnostics, ...).
+    """
+
+    method: str
+    failure_probability: float
+    relative_error: float
+    n_first_stage: int
+    n_second_stage: int
+    trace: Optional[ConvergenceTrace] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_total(self) -> int:
+        return self.n_first_stage + self.n_second_stage
+
+    def summary(self) -> str:
+        rel = (
+            f"{100 * self.relative_error:.2f}%"
+            if math.isfinite(self.relative_error)
+            else "inf"
+        )
+        return (
+            f"{self.method}: P_f = {self.failure_probability:.3e} "
+            f"(rel. err. {rel}, {self.n_first_stage} + {self.n_second_stage} sims)"
+        )

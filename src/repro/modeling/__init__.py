@@ -1,0 +1,13 @@
+"""Response-surface modelling of performance metrics.
+
+Substrate for the model-based optimisation of Algorithm 4 (and for the MNIS
+baseline): design-of-experiments sampling plans
+(:mod:`repro.modeling.doe`) and linear/quadratic least-squares surrogates
+(:mod:`repro.modeling.surrogate`), standing in for the performance-modelling
+technique of the paper's reference [18].
+"""
+
+from repro.modeling.doe import axial_doe, composite_doe
+from repro.modeling.surrogate import LinearSurrogate, QuadraticSurrogate
+
+__all__ = ["axial_doe", "composite_doe", "LinearSurrogate", "QuadraticSurrogate"]

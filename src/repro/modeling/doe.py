@@ -1,0 +1,61 @@
+"""Design-of-experiments sampling plans for surrogate fitting.
+
+The surrogate only needs to be accurate enough to point Algorithm 4's
+minimum-norm optimisation at the failure region, so the plans bias samples
+toward the tails (axial points at several sigma) while covering interaction
+terms with scaled random points.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def axial_doe(
+    dimension: int, levels: Sequence[float] = (2.0, 4.0, 5.5)
+) -> np.ndarray:
+    """Centre point plus axial points at ``+/- level`` on every axis.
+
+    Returns ``(1 + 2 * len(levels) * M, M)`` points: enough to identify
+    linear and pure-quadratic terms exactly.
+    """
+    if dimension < 1:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    rows = [np.zeros(dimension)]
+    for level in levels:
+        if level <= 0:
+            raise ValueError(f"axial levels must be positive, got {level}")
+        for axis in range(dimension):
+            for sign in (+1.0, -1.0):
+                point = np.zeros(dimension)
+                point[axis] = sign * level
+                rows.append(point)
+    return np.stack(rows)
+
+
+def composite_doe(
+    dimension: int,
+    n_total: int,
+    rng: SeedLike = None,
+    levels: Sequence[float] = (2.0, 4.0, 5.5),
+    random_scale: float = 2.5,
+) -> np.ndarray:
+    """Axial plan padded with scaled Gaussian points up to ``n_total``.
+
+    The random points (drawn from ``N(0, random_scale^2 I)``) excite the
+    cross terms a pure axial plan cannot see.  Raises if ``n_total`` is
+    smaller than the axial plan itself.
+    """
+    base = axial_doe(dimension, levels)
+    if n_total < base.shape[0]:
+        raise ValueError(
+            f"n_total={n_total} is smaller than the axial plan "
+            f"({base.shape[0]} points) for dimension {dimension}"
+        )
+    rng = ensure_rng(rng)
+    extra = rng.standard_normal((n_total - base.shape[0], dimension)) * random_scale
+    return np.vstack([base, extra])

@@ -1,0 +1,104 @@
+"""Linear and quadratic least-squares response surfaces.
+
+The paper's Algorithm 4 approximates the performance of interest "as a
+linear or quadratic model of the M-dimensional random variable x" and
+optimises over the model.  These surrogates are exactly that: cheap global
+polynomial fits with analytic gradients, *not* accurate emulators — the
+paper stresses that an approximate failure point suffices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_sample_matrix
+
+
+class LinearSurrogate:
+    """First-order model ``y ~= c0 + g . x``."""
+
+    def __init__(self, intercept: float, gradient_vector: np.ndarray):
+        self.intercept = float(intercept)
+        self.gradient_vector = np.asarray(gradient_vector, dtype=float)
+        self.dimension = self.gradient_vector.size
+
+    @classmethod
+    def fit(cls, x: np.ndarray, y: np.ndarray) -> "LinearSurrogate":
+        x = as_sample_matrix(x)
+        y = np.asarray(y, dtype=float)
+        n, dim = x.shape
+        if n < dim + 1:
+            raise ValueError(
+                f"need at least {dim + 1} samples to fit a linear model, got {n}"
+            )
+        design = np.hstack([np.ones((n, 1)), x])
+        coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+        return cls(coef[0], coef[1:])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = as_sample_matrix(x, self.dimension)
+        return self.intercept + x @ self.gradient_vector
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        x = as_sample_matrix(x, self.dimension)
+        return np.broadcast_to(self.gradient_vector, x.shape).copy()
+
+
+class QuadraticSurrogate:
+    """Second-order model ``y ~= c0 + g . x + x^T H x / 2`` (full cross terms)."""
+
+    def __init__(self, intercept: float, gradient_vector: np.ndarray, hessian: np.ndarray):
+        self.intercept = float(intercept)
+        self.gradient_vector = np.asarray(gradient_vector, dtype=float)
+        hessian = np.asarray(hessian, dtype=float)
+        self.hessian = 0.5 * (hessian + hessian.T)
+        self.dimension = self.gradient_vector.size
+
+    @classmethod
+    def n_parameters(cls, dimension: int) -> int:
+        """Parameter count of the full quadratic in ``dimension`` variables."""
+        return 1 + dimension + dimension * (dimension + 1) // 2
+
+    @classmethod
+    def fit(cls, x: np.ndarray, y: np.ndarray) -> "QuadraticSurrogate":
+        x = as_sample_matrix(x)
+        y = np.asarray(y, dtype=float)
+        n, dim = x.shape
+        n_params = cls.n_parameters(dim)
+        if n < n_params:
+            raise ValueError(
+                f"need at least {n_params} samples to fit a quadratic in "
+                f"{dim} variables, got {n}"
+            )
+        iu = np.triu_indices(dim)
+        # Features: 1, x_i, x_i * x_j (i <= j).
+        quad = x[:, iu[0]] * x[:, iu[1]]
+        design = np.hstack([np.ones((n, 1)), x, quad])
+        coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+        intercept = coef[0]
+        gradient_vector = coef[1 : 1 + dim]
+        hessian = _packed_to_hessian(coef[1 + dim :], dim)
+        return cls(intercept, gradient_vector, hessian)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = as_sample_matrix(x, self.dimension)
+        quad = 0.5 * np.einsum("ni,ij,nj->n", x, self.hessian, x)
+        return self.intercept + x @ self.gradient_vector + quad
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        x = as_sample_matrix(x, self.dimension)
+        return self.gradient_vector + x @ self.hessian
+
+
+def _packed_to_hessian(packed: np.ndarray, dim: int) -> np.ndarray:
+    """Convert upper-triangular monomial coefficients to the Hessian of
+    ``x^T H x / 2``: coefficient ``c`` of ``x_i^2`` gives ``H_ii = 2c``;
+    coefficient of ``x_i x_j`` (i < j) gives ``H_ij = H_ji = c``.
+    """
+    iu = np.triu_indices(dim)
+    hessian = np.zeros((dim, dim))
+    hessian[iu] = packed
+    hessian = hessian + hessian.T
+    # The diagonal got doubled by the symmetrisation: that is exactly the
+    # factor needed (H_ii = 2 c_ii); off-diagonals are c_ij as required.
+    return hessian

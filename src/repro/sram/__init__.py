@@ -1,0 +1,51 @@
+"""6-T SRAM cell testbench: the paper's device under test.
+
+The cell (Fig. 5 of the paper) is two cross-coupled inverters plus two NMOS
+access transistors.  This package provides the cell itself
+(:mod:`repro.sram.cell`), Seevinck largest-square butterfly analysis for the
+read and write static noise margins (:mod:`repro.sram.butterfly`), the three
+performance metrics of Section V (:mod:`repro.sram.metrics`), the mapping
+from i.i.d. standard-Normal variables to per-device threshold mismatch
+(:mod:`repro.sram.variation`), and calibrated ready-to-run problem instances
+(:mod:`repro.sram.problems`).
+"""
+
+from repro.sram.cell import DEVICE_NAMES, PAPER_INDEX, SixTransistorCell
+from repro.sram.corners import CORNERS, corner_cell, corner_technology
+from repro.sram.metrics import (
+    HoldNoiseMarginMetric,
+    ReadCurrentMetric,
+    ReadNoiseMarginMetric,
+    SramMetric,
+    WriteNoiseMarginMetric,
+)
+from repro.sram.variation import VthMismatch
+from repro.sram.dynamic import WriteTimeMetric
+from repro.sram.problems import (
+    SramProblem,
+    read_current_problem,
+    read_noise_margin_problem,
+    write_noise_margin_problem,
+    write_time_problem,
+)
+
+__all__ = [
+    "SixTransistorCell",
+    "DEVICE_NAMES",
+    "PAPER_INDEX",
+    "CORNERS",
+    "corner_cell",
+    "corner_technology",
+    "SramMetric",
+    "HoldNoiseMarginMetric",
+    "ReadNoiseMarginMetric",
+    "WriteNoiseMarginMetric",
+    "ReadCurrentMetric",
+    "VthMismatch",
+    "WriteTimeMetric",
+    "SramProblem",
+    "read_noise_margin_problem",
+    "write_noise_margin_problem",
+    "read_current_problem",
+    "write_time_problem",
+]

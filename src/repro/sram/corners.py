@@ -1,0 +1,72 @@
+"""Global process corners on top of local mismatch.
+
+The paper's statistical model covers *local* (within-die) Vth mismatch;
+sign-off additionally sweeps *global* (die-to-die) process corners.  These
+helpers build cells at the classic five corners by shifting the nominal
+NMOS/PMOS thresholds together — slow devices have higher |Vth| — so any
+failure-rate analysis can be repeated per corner:
+
+    for corner in CORNERS:
+        problem = read_noise_margin_problem(corner_cell(corner))
+        ...
+
+The local-mismatch sigmas are untouched: corners shift the *mean* of the
+process, mismatch spreads around it, exactly the standard decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping, Optional
+
+from repro.devices.technology import DeviceGeometry, Technology, default_technology
+from repro.sram.cell import SixTransistorCell
+
+#: The classic five corners: (NMOS shift sign, PMOS shift sign).
+#: First letter = NMOS speed, second = PMOS speed; "slow" = higher |Vth|.
+CORNERS: Mapping[str, tuple] = {
+    "TT": (0.0, 0.0),
+    "FF": (-1.0, -1.0),
+    "SS": (+1.0, +1.0),
+    "FS": (-1.0, +1.0),
+    "SF": (+1.0, -1.0),
+}
+
+
+def corner_technology(
+    corner: str,
+    base: Optional[Technology] = None,
+    sigma_global: float = 0.03,
+) -> Technology:
+    """Technology at a named global corner.
+
+    ``sigma_global`` is the die-to-die threshold sigma (V); corners sit at
+    +/- one global sigma per the usual 3-sigma-corner / 1-sigma-model
+    convention scaled into this library's representative numbers.
+    """
+    try:
+        sn, sp = CORNERS[corner.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown corner {corner!r}; choose from {sorted(CORNERS)}"
+        ) from None
+    if sigma_global < 0:
+        raise ValueError(f"sigma_global must be >= 0, got {sigma_global}")
+    base = base or default_technology()
+    return replace(
+        base,
+        vth_n=base.vth_n + sn * sigma_global,
+        vth_p=base.vth_p + sp * sigma_global,
+    )
+
+
+def corner_cell(
+    corner: str,
+    base: Optional[Technology] = None,
+    geometries: Optional[Mapping[str, DeviceGeometry]] = None,
+    sigma_global: float = 0.03,
+) -> SixTransistorCell:
+    """A 6-T cell at a named global process corner."""
+    return SixTransistorCell(
+        corner_technology(corner, base, sigma_global), geometries
+    )

@@ -1,0 +1,58 @@
+"""Mapping from standard-Normal variables to per-device threshold mismatch.
+
+The paper models local Vth mismatch of the six cell transistors as a joint
+Normal distribution and works in the whitened space of Eq. (1):
+``x ~ N(0, I_M)``.  :class:`VthMismatch` carries the physical scale: variable
+``x_i`` maps to ``Delta V_TH = sigma_i * x_i`` of one named device, with the
+Pelgrom ``sigma_i`` taken from the cell's geometry.
+
+Restricting to a subset of devices gives the lower-dimensional problems of
+Section V-B (read current: M1 and M3 only, so M = 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.sram.cell import DEVICE_NAMES, SixTransistorCell
+from repro.utils.validation import as_sample_matrix
+
+
+class VthMismatch:
+    """Whitened-variable to per-device Delta-Vth mapping for one cell."""
+
+    def __init__(self, cell: SixTransistorCell, devices: Sequence[str] = DEVICE_NAMES):
+        devices = tuple(devices)
+        unknown = set(devices) - set(DEVICE_NAMES)
+        if unknown:
+            raise KeyError(f"unknown device names: {sorted(unknown)}")
+        if len(set(devices)) != len(devices):
+            raise ValueError("device names must be unique")
+        self.cell = cell
+        self.devices = devices
+        self.sigmas = np.array([cell.sigma_vth[name] for name in devices])
+
+    @property
+    def dimension(self) -> int:
+        return len(self.devices)
+
+    def deltas(self, x: np.ndarray) -> Dict[str, np.ndarray]:
+        """Per-device Delta-Vth arrays for a sample matrix ``x`` of shape (n, M)."""
+        x = as_sample_matrix(x, self.dimension)
+        return {
+            name: self.sigmas[i] * x[:, i] for i, name in enumerate(self.devices)
+        }
+
+    def paper_labels(self) -> Tuple[str, ...]:
+        """Paper-style labels (``dVth1`` for M1 = pd_l, etc.) of each variable."""
+        return tuple(
+            f"dVth{DEVICE_NAMES.index(name) + 1}" for name in self.devices
+        )
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{n}={s * 1e3:.1f}mV" for n, s in zip(self.devices, self.sigmas)
+        )
+        return f"VthMismatch({pairs})"

@@ -1,0 +1,35 @@
+"""Statistical primitives used throughout the reproduction.
+
+This package holds everything probability-related that is *not* specific to
+the Gibbs algorithms themselves: the standard Normal and Chi(M) laws of
+Eqs. (1) and (13), truncated-distribution inverse-transform sampling
+(Algorithm 3, steps 3-4), multivariate-Normal fitting/sampling for the
+two-stage flow (Algorithm 5), PCA whitening for correlated process
+variables, and the 99%-confidence-interval relative-error figure of merit
+used by all of Section V.
+"""
+
+from repro.stats.confidence import (
+    confidence_halfwidth,
+    montecarlo_relative_error,
+    relative_error,
+)
+from repro.stats.distributions import ChiDistribution, StandardNormal
+from repro.stats.mixture import GaussianMixture
+from repro.stats.mvnormal import MultivariateNormal
+from repro.stats.pca import PCAWhitener
+from repro.stats.qmc import QMCNormal
+from repro.stats.truncated import TruncatedDistribution
+
+__all__ = [
+    "StandardNormal",
+    "ChiDistribution",
+    "TruncatedDistribution",
+    "MultivariateNormal",
+    "GaussianMixture",
+    "QMCNormal",
+    "PCAWhitener",
+    "relative_error",
+    "confidence_halfwidth",
+    "montecarlo_relative_error",
+]

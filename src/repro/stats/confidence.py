@@ -1,0 +1,62 @@
+"""Confidence-interval relative error: the paper's accuracy figure of merit.
+
+Section V defines the relative error of a failure-rate estimate as "the
+ratio of the 99% confidence interval over the estimated failure probability".
+For an importance-sampling estimator (Eq. 7/33) with per-sample weights
+``w_n = I(x_n) f(x_n) / g(x_n)`` the estimate is ``mean(w)`` and the CI
+half-width is ``z * std(w) / sqrt(N)`` with ``z = Phi^{-1}(0.995)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+#: z-score of the 99% two-sided confidence interval.
+Z_99 = float(special.ndtri(0.995))
+
+
+def confidence_halfwidth(weights: np.ndarray, confidence: float = 0.99) -> float:
+    """CI half-width of ``mean(weights)`` at the given confidence level.
+
+    ``weights`` must be the *full* weight vector including the zeros of
+    passing samples — dropping them would understate the variance.
+    """
+    weights = np.asarray(weights, dtype=float)
+    n = weights.size
+    if n < 2:
+        return math.inf
+    z = float(special.ndtri(0.5 + 0.5 * confidence))
+    std = float(weights.std(ddof=1))
+    return z * std / math.sqrt(n)
+
+
+def relative_error(weights: np.ndarray, confidence: float = 0.99) -> float:
+    """CI half-width divided by the estimate (paper's Section-V metric).
+
+    Returns ``inf`` when the estimate is zero (no failure observed yet),
+    which orders naturally in "sims until error <= target" searches.
+    """
+    weights = np.asarray(weights, dtype=float)
+    estimate = float(weights.mean()) if weights.size else 0.0
+    if estimate <= 0.0:
+        return math.inf
+    return confidence_halfwidth(weights, confidence) / estimate
+
+
+def montecarlo_relative_error(
+    failures: int, total: int, confidence: float = 0.99
+) -> float:
+    """Relative error of a plain Monte-Carlo estimate of Eq. (5).
+
+    Uses the Normal approximation of the binomial proportion, which is the
+    standard choice for the large sample counts involved here.
+    """
+    if total < 2 or failures <= 0:
+        return math.inf
+    p = failures / total
+    z = float(special.ndtri(0.5 + 0.5 * confidence))
+    halfwidth = z * math.sqrt(p * (1.0 - p) / total)
+    return halfwidth / p

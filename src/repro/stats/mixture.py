@@ -1,0 +1,125 @@
+"""Gaussian-mixture proposal: the paper's deferred non-Normal extension.
+
+Section IV-C notes that the optimal distribution could also be approximated
+"as other non-Normal distributions such as Gaussian mixture distribution",
+at the cost of needing more Gibbs samples to fit.  This module implements
+that extension: a K-component full-covariance mixture fitted by EM, exposing
+the same ``sample`` / ``logpdf`` interface as
+:class:`~repro.stats.mvnormal.MultivariateNormal` so it can be dropped into
+the two-stage flow (``proposal_fit="mixture"``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.stats.mvnormal import MultivariateNormal
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import as_sample_matrix
+
+
+class GaussianMixture:
+    """A weighted mixture of full-covariance Normals."""
+
+    def __init__(self, weights: np.ndarray, components: List[MultivariateNormal]):
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 1 or len(components) != weights.size:
+            raise ValueError("one weight per component required")
+        if np.any(weights < 0) or not np.isclose(weights.sum(), 1.0):
+            raise ValueError("weights must be non-negative and sum to 1")
+        dims = {c.dimension for c in components}
+        if len(dims) != 1:
+            raise ValueError("components must share one dimension")
+        self.weights = weights / weights.sum()
+        self.components = list(components)
+        self.dimension = dims.pop()
+
+    # ---------------------------------------------------------------- fit
+    @classmethod
+    def fit(
+        cls,
+        samples: np.ndarray,
+        n_components: int = 3,
+        rng: SeedLike = None,
+        n_iterations: int = 60,
+        ridge: float = 1e-4,
+        tol: float = 1e-8,
+    ) -> "GaussianMixture":
+        """EM fit.  Falls back to fewer components when the sample count is
+        too small to support ``n_components`` covariance estimates."""
+        samples = as_sample_matrix(samples)
+        n, dim = samples.shape
+        # Each component needs comfortably more points than cov parameters.
+        max_k = max(1, n // max(2 * dim, 8))
+        k = min(n_components, max_k)
+        rng = ensure_rng(rng)
+
+        # Initialise responsibilities from a random hard assignment around
+        # k distinct seed samples (k-means-style single step).
+        seeds = samples[rng.choice(n, size=k, replace=False)]
+        d2 = ((samples[:, np.newaxis, :] - seeds[np.newaxis, :, :]) ** 2).sum(axis=2)
+        resp = np.zeros((n, k))
+        resp[np.arange(n), d2.argmin(axis=1)] = 1.0
+
+        log_likelihood = -np.inf
+        weights = np.full(k, 1.0 / k)
+        comps: List[MultivariateNormal] = []
+        for _ in range(n_iterations):
+            # M step
+            counts = resp.sum(axis=0) + 1e-12
+            weights = counts / n
+            comps = []
+            for j in range(k):
+                w = resp[:, j][:, np.newaxis]
+                mean = (w * samples).sum(axis=0) / counts[j]
+                centred = samples - mean
+                cov = (w * centred).T @ centred / counts[j]
+                cov += ridge * np.eye(dim)
+                comps.append(MultivariateNormal(mean, cov))
+            # E step
+            log_probs = np.stack(
+                [np.log(weights[j]) + comps[j].logpdf(samples) for j in range(k)],
+                axis=1,
+            )
+            norm = logsumexp(log_probs, axis=1)
+            resp = np.exp(log_probs - norm[:, np.newaxis])
+            new_ll = float(norm.sum())
+            if new_ll - log_likelihood < tol:
+                log_likelihood = new_ll
+                break
+            log_likelihood = new_ll
+        return cls(weights, comps)
+
+    # ------------------------------------------------------------ queries
+    def sample(self, n: int, rng: SeedLike = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        counts = rng.multinomial(n, self.weights)
+        parts = [
+            comp.sample(int(count), rng)
+            for comp, count in zip(self.components, counts)
+            if count > 0
+        ]
+        out = np.vstack(parts)
+        # Shuffle so sample order carries no component structure.
+        rng.shuffle(out, axis=0)
+        return out
+
+    def logpdf(self, x: np.ndarray) -> np.ndarray:
+        x = as_sample_matrix(x, self.dimension)
+        log_probs = np.stack(
+            [
+                np.log(w) + comp.logpdf(x)
+                for w, comp in zip(self.weights, self.components)
+            ],
+            axis=1,
+        )
+        return logsumexp(log_probs, axis=1)
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        return np.exp(self.logpdf(x))
+
+    def __repr__(self) -> str:
+        return f"GaussianMixture(k={len(self.components)}, dim={self.dimension})"

@@ -1,0 +1,24 @@
+"""Analytic test problems with closed-form failure probabilities.
+
+Every sampling algorithm in this library is validated against metrics whose
+exact failure probability is known: half-spaces, the quadrant region of the
+paper's Eq. (18), sphere tails, and an annular-arc region that reproduces
+the Section V-B pathology (wide angular spread at a fixed radius) with an
+exact answer attached.
+"""
+
+from repro.synthetic.metrics import (
+    AnnularArcMetric,
+    LinearMetric,
+    QuadrantMetric,
+    SphereTailMetric,
+    SyntheticProblem,
+)
+
+__all__ = [
+    "LinearMetric",
+    "QuadrantMetric",
+    "SphereTailMetric",
+    "AnnularArcMetric",
+    "SyntheticProblem",
+]

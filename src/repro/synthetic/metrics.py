@@ -1,0 +1,178 @@
+"""Synthetic performance metrics with exact failure probabilities.
+
+Each metric maps ``(n, M)`` standard-Normal samples to a *signed margin*
+(positive = pass), so the natural failure spec is
+``FailureSpec(threshold=0.0, fail_below=True)``.  Each also exposes
+``exact_failure_probability`` under x ~ N(0, I_M), which is what makes
+these the backbone of the estimator-correctness test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+from scipy import special
+
+from repro.mc.indicator import FailureSpec
+from repro.utils.validation import as_sample_matrix
+
+
+def _phi(z: float) -> float:
+    """Standard Normal CDF."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+@dataclass
+class SyntheticProblem:
+    """A synthetic metric with its failure spec and exact answer."""
+
+    name: str
+    metric: object
+    spec: FailureSpec
+    exact_failure_probability: float
+
+    @property
+    def dimension(self) -> int:
+        return self.metric.dimension
+
+    def indicator(self, x):
+        return self.spec.indicator(self.metric(x))
+
+
+class _SyntheticMetric:
+    """Shared plumbing: input checking and problem packaging."""
+
+    dimension: int
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.evaluate(x)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def exact_failure_probability(self) -> float:
+        raise NotImplementedError
+
+    def problem(self, name: Optional[str] = None) -> SyntheticProblem:
+        return SyntheticProblem(
+            name=name or type(self).__name__,
+            metric=self,
+            spec=FailureSpec(0.0, fail_below=True),
+            exact_failure_probability=self.exact_failure_probability,
+        )
+
+
+class LinearMetric(_SyntheticMetric):
+    """Half-space failure region: fails when ``a . x >= b``.
+
+    Margin: ``b - a . x``.  Exact failure probability is
+    ``Phi(-b / ||a||)``, so ``b/||a||`` is the failure boundary's sigma
+    distance — the knob for placing the problem anywhere in the rare-event
+    regime, at any dimension (used by the high-dimension ablation).
+    """
+
+    def __init__(self, direction, offset: float):
+        direction = np.asarray(direction, dtype=float)
+        if direction.ndim != 1 or not np.any(direction):
+            raise ValueError("direction must be a non-zero vector")
+        self.direction = direction
+        self.offset = float(offset)
+        self.dimension = direction.size
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        x = as_sample_matrix(x, self.dimension)
+        return self.offset - x @ self.direction
+
+    @property
+    def exact_failure_probability(self) -> float:
+        return _phi(-self.offset / float(np.linalg.norm(self.direction)))
+
+
+class QuadrantMetric(_SyntheticMetric):
+    """The paper's Eq. (18) region generalised: fails when every
+    ``x_i >= c_i``.
+
+    Margin: ``max_i (c_i - x_i)`` — negative exactly when all coordinates
+    clear their corner.  Exact probability: ``prod_i Phi(-c_i)``.
+    With ``c = 0`` in 2-D this is the quarter-plane of Fig. 3.
+    """
+
+    def __init__(self, corner):
+        corner = np.atleast_1d(np.asarray(corner, dtype=float))
+        self.corner = corner
+        self.dimension = corner.size
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        x = as_sample_matrix(x, self.dimension)
+        return (self.corner - x).max(axis=1)
+
+    @property
+    def exact_failure_probability(self) -> float:
+        return float(np.prod([_phi(-c) for c in self.corner]))
+
+
+class SphereTailMetric(_SyntheticMetric):
+    """Radially symmetric tail: fails when ``||x|| >= r0``.
+
+    Margin: ``r0 - ||x||``.  Exact probability is the Chi-square tail
+    ``P(Chi2_M >= r0^2) = gammaincc(M/2, r0^2/2)``.  The failure region is
+    a full shell — every orientation fails — which is the degenerate case
+    where a single mean-shifted Normal proposal is maximally wrong.
+    """
+
+    def __init__(self, radius: float, dimension: int):
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        self.radius = float(radius)
+        self.dimension = int(dimension)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        x = as_sample_matrix(x, self.dimension)
+        return self.radius - np.linalg.norm(x, axis=1)
+
+    @property
+    def exact_failure_probability(self) -> float:
+        return float(special.gammaincc(0.5 * self.dimension, 0.5 * self.radius**2))
+
+
+class AnnularArcMetric(_SyntheticMetric):
+    """2-D bent failure region: fails when ``||x|| >= r0`` *and* the polar
+    angle lies within ``half_width`` of ``center_angle``.
+
+    Margin: ``max(r0 - r, |wrap(theta - center)| - half_width)`` (radians
+    for the angular term) — a single continuous, strongly non-convex region
+    hugging a probability contour, exactly the geometry that traps
+    Cartesian Gibbs and mean-shift importance sampling in Section V-B,
+    but with a closed-form answer:
+
+        P_f = exp(-r0^2 / 2) * half_width / pi .
+    """
+
+    dimension = 2
+
+    def __init__(self, radius: float, center_angle: float, half_width: float):
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        if not 0 < half_width < math.pi:
+            raise ValueError(f"half_width must be in (0, pi), got {half_width}")
+        self.radius = float(radius)
+        self.center_angle = float(center_angle)
+        self.half_width = float(half_width)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        x = as_sample_matrix(x, self.dimension)
+        r = np.hypot(x[:, 0], x[:, 1])
+        theta = np.arctan2(x[:, 1], x[:, 0])
+        delta = np.angle(np.exp(1j * (theta - self.center_angle)))
+        radial_margin = self.radius - r
+        angular_margin = np.abs(delta) - self.half_width
+        return np.maximum(radial_margin, angular_margin)
+
+    @property
+    def exact_failure_probability(self) -> float:
+        # P(||x|| >= r0) = exp(-r0^2/2) in 2-D; angle independent & uniform.
+        return math.exp(-0.5 * self.radius**2) * self.half_width / math.pi

@@ -1,0 +1,6 @@
+"""Small shared utilities (RNG handling, validation helpers)."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import as_sample_matrix, check_finite
+
+__all__ = ["ensure_rng", "spawn_rngs", "as_sample_matrix", "check_finite"]

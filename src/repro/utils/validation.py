@@ -1,0 +1,31 @@
+"""Input-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_sample_matrix(x: np.ndarray, dimension: int = None) -> np.ndarray:
+    """Coerce ``x`` to a float ``(n, M)`` sample matrix.
+
+    A single point of shape ``(M,)`` becomes ``(1, M)``.  If ``dimension`` is
+    given, the trailing axis must match it.
+    """
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2:
+        raise ValueError(f"expected a point or sample matrix, got shape {arr.shape}")
+    if dimension is not None and arr.shape[1] != dimension:
+        raise ValueError(
+            f"sample matrix has {arr.shape[1]} columns, expected {dimension}"
+        )
+    return arr
+
+
+def check_finite(name: str, arr: np.ndarray) -> np.ndarray:
+    """Raise ``ValueError`` if ``arr`` contains NaN or infinity."""
+    arr = np.asarray(arr)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr

@@ -1,0 +1,174 @@
+"""Tests for the experiment harness (repro.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    METHODS,
+    compare_methods,
+    run_method,
+    second_stage_scatter,
+    sims_to_target_error,
+)
+from repro.analysis.region import ascii_region, map_failure_region, uniform_failure_samples
+from repro.analysis.tables import format_series, format_table
+from repro.synthetic import LinearMetric, QuadrantMetric
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return LinearMetric(np.array([1.0, 0.4]), 3.5).problem("halfspace")
+
+
+class TestRunMethod:
+    @pytest.mark.parametrize("name", METHODS)
+    def test_dispatch(self, problem, name):
+        result = run_method(
+            name, problem, rng=0, n_second_stage=600, n_gibbs=60,
+            doe_budget=60, n_exploration=800,
+        )
+        assert result.method == name
+        assert result.n_second_stage == 600
+
+    def test_mc_dispatch(self, problem):
+        result = run_method("MC", problem, rng=0, n_second_stage=2000)
+        assert result.method == "MC"
+
+    def test_unknown_method_raises(self, problem):
+        with pytest.raises(ValueError, match="unknown method"):
+            run_method("XYZ", problem)
+
+    def test_estimates_consistent_across_methods(self, problem):
+        exact = problem.exact_failure_probability
+        for name in METHODS:
+            result = run_method(
+                name, problem, rng=1, n_second_stage=4000, n_gibbs=200,
+                doe_budget=100, n_exploration=3000,
+            )
+            assert result.failure_probability == pytest.approx(exact, rel=0.5), name
+
+
+class TestCompareMethods:
+    def test_runs_all(self, problem):
+        results = compare_methods(
+            problem, methods=("MNIS", "G-C"), seed=3,
+            n_second_stage=500, n_gibbs=50, doe_budget=60,
+        )
+        assert set(results) == {"MNIS", "G-C"}
+
+    def test_streams_independent_of_subset(self, problem):
+        """Removing one method must not change another's result."""
+        both = compare_methods(
+            problem, methods=("MNIS", "G-C"), seed=3,
+            n_second_stage=400, n_gibbs=40, doe_budget=60,
+        )
+        alone = compare_methods(
+            problem, methods=("MNIS",), seed=3,
+            n_second_stage=400, n_gibbs=40, doe_budget=60,
+        )
+        assert (
+            both["MNIS"].failure_probability
+            == alone["MNIS"].failure_probability
+        )
+
+
+class TestSimsToTarget:
+    def test_rows(self, problem):
+        results = compare_methods(
+            problem, methods=("MNIS",), seed=5,
+            n_second_stage=6000, doe_budget=80,
+        )
+        rows = sims_to_target_error(results, target=0.3)
+        row = rows["MNIS"]
+        assert row["first_stage"] == results["MNIS"].n_first_stage
+        assert row["second_stage"] is not None
+        assert row["total"] == row["first_stage"] + row["second_stage"]
+
+    def test_unreached_target(self, problem):
+        results = compare_methods(
+            problem, methods=("MNIS",), seed=5,
+            n_second_stage=300, doe_budget=80,
+        )
+        rows = sims_to_target_error(results, target=0.0001)
+        assert rows["MNIS"]["second_stage"] is None
+        assert rows["MNIS"]["total"] is None
+
+
+class TestScatter:
+    def test_requires_stored_samples(self, problem):
+        result = run_method("MNIS", problem, rng=0, n_second_stage=300,
+                            doe_budget=60)
+        with pytest.raises(ValueError, match="store_samples"):
+            second_stage_scatter(result, (0, 1))
+
+    def test_pass_fail_split(self, problem):
+        result = run_method(
+            "MNIS", problem, rng=0, n_second_stage=500, doe_budget=60,
+            store_samples=True,
+        )
+        scatter = second_stage_scatter(result, (0, 1))
+        n = len(scatter["pass"]) + len(scatter["fail"])
+        assert n == 500
+        assert scatter["fail"].shape[1] == 2
+
+
+class TestRegion:
+    def quadrant(self):
+        return QuadrantMetric(np.array([1.0, 1.0])).problem()
+
+    def test_map_matches_analytic_region(self):
+        axis_x, axis_y, fail = map_failure_region(
+            self.quadrant(), extent=4.0, n_grid=41
+        )
+        xi = np.searchsorted(axis_x, 2.0)
+        yi = np.searchsorted(axis_y, 2.0)
+        assert fail[xi, yi]                 # (2, 2) fails
+        assert not fail[0, 0]               # (-4, -4) passes
+        assert fail.mean() == pytest.approx((3 / 8) ** 2, abs=0.02)
+
+    def test_uniform_failure_samples_all_fail(self, rng):
+        prob = self.quadrant()
+        pts = uniform_failure_samples(prob, extent=4.0, n_samples=2000, rng=rng)
+        full = np.zeros((pts.shape[0], 2))
+        full[:, :] = pts
+        assert np.all(prob.indicator(full))
+
+    def test_ascii_render(self):
+        axis_x, axis_y, fail = map_failure_region(
+            self.quadrant(), extent=4.0, n_grid=41
+        )
+        art = ascii_region(axis_x, axis_y, fail, width=31, height=15)
+        lines = art.splitlines()
+        assert len(lines) == 15
+        assert "#" in art and "." in art
+        # Failure is the upper-right quadrant: first line mostly '#' at the
+        # right, last line none.
+        assert "#" in lines[0]
+        assert "#" not in lines[-1]
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(
+            ["method", "P_f"], [["MIS", 1.5e-5], ["G-S", None]]
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("method")
+        assert "-" in lines[1]
+        assert "1.5e-05" in out
+        assert "-" in lines[3]  # None rendered as dash
+
+    def test_format_series(self):
+        out = format_series(
+            np.array([10, 20]),
+            {"a": np.array([0.1, 0.2]), "b": np.array([1.0, 2.0])},
+        )
+        assert "a" in out and "b" in out and "10" in out
+
+    def test_numpy_scalars_rendered(self):
+        out = format_table(["x"], [[np.float64(0.125)], [np.int64(7)]])
+        assert "0.125" in out and "7" in out
+
+    def test_inf_rendered(self):
+        out = format_table(["x"], [[float("inf")]])
+        assert "inf" in out

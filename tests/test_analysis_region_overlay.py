@@ -1,0 +1,66 @@
+"""Additional tests for region rendering overlays (repro.analysis.region)."""
+
+import numpy as np
+
+from repro.analysis.region import ascii_region, map_failure_region
+from repro.synthetic import QuadrantMetric
+
+
+def quadrant_map():
+    prob = QuadrantMetric(np.array([1.0, 1.0])).problem()
+    return map_failure_region(prob, extent=4.0, n_grid=41)
+
+
+class TestAsciiOverlay:
+    def test_overlay_points_rendered(self):
+        ax, ay, fail = quadrant_map()
+        pts = np.array([[2.0, 2.0], [3.0, 3.0]])
+        art = ascii_region(ax, ay, fail, overlay_points=pts, width=41, height=21)
+        assert art.count("*") >= 1
+
+    def test_empty_overlay_accepted(self):
+        ax, ay, fail = quadrant_map()
+        art = ascii_region(ax, ay, fail, overlay_points=np.zeros((0, 2)))
+        assert "*" not in art
+
+    def test_origin_marker(self):
+        ax, ay, fail = quadrant_map()
+        art = ascii_region(ax, ay, fail, width=41, height=21)
+        assert "+" in art
+
+    def test_row_orientation(self):
+        """Second variable increases upward: for the upper-right quadrant
+        region, the top row must contain more '#' than the bottom row."""
+        ax, ay, fail = quadrant_map()
+        lines = ascii_region(ax, ay, fail, width=41, height=21).splitlines()
+        assert lines[0].count("#") > lines[-1].count("#")
+
+    def test_out_of_range_overlay_clipped(self):
+        ax, ay, fail = quadrant_map()
+        pts = np.array([[99.0, 99.0]])
+        art = ascii_region(ax, ay, fail, overlay_points=pts, width=21, height=11)
+        # Clipped into the last cell rather than crashing.
+        assert isinstance(art, str)
+
+
+class TestMapSliceVariables:
+    def test_variable_pair_selects_axes(self):
+        """With corner (1, 10) only variable 0 can fail within extent 4, so
+        slicing the (0, 1) pair shows no failures but slicing (0, 0)-style
+        fixed values would."""
+        prob = QuadrantMetric(np.array([1.0, 10.0])).problem()
+        _, _, fail = map_failure_region(prob, extent=4.0, n_grid=21)
+        assert not fail.any()
+
+    def test_fixed_values_offset(self):
+        prob = QuadrantMetric(np.array([1.0, 1.0, 1.0])).problem()
+        # Hold the third variable deep in its failing range.
+        _, _, fail_ok = map_failure_region(
+            prob, extent=4.0, n_grid=21, variable_pair=(0, 1), fixed_values=3.0
+        )
+        # Hold it in its passing range: nothing can fail.
+        _, _, fail_none = map_failure_region(
+            prob, extent=4.0, n_grid=21, variable_pair=(0, 1), fixed_values=-3.0
+        )
+        assert fail_ok.any()
+        assert not fail_none.any()

@@ -1,0 +1,70 @@
+"""Tests for failure-rate sweeps (repro.analysis.sweep)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import failure_rate_sweep, sweep_table_rows
+from repro.synthetic import LinearMetric
+
+
+def halfspace_family(offset):
+    """Problem family with exact answers: P_f = Phi(-offset)."""
+    return LinearMetric(np.array([1.0, 0.0]), offset).problem(f"hs{offset}")
+
+
+class TestFailureRateSweep:
+    def test_sweep_tracks_exact_answers(self):
+        offsets = [3.0, 3.5, 4.0]
+        points = failure_rate_sweep(
+            halfspace_family, offsets, method="G-S", seed=1,
+            n_second_stage=3000, n_gibbs=150, doe_budget=60,
+        )
+        for offset, point in zip(offsets, points):
+            exact = halfspace_family(offset).exact_failure_probability
+            assert point.value == offset
+            assert point.result.failure_probability == pytest.approx(
+                exact, rel=0.35
+            )
+
+    def test_monotone_in_spec(self):
+        """Tighter spec (larger offset) must give a smaller failure rate."""
+        points = failure_rate_sweep(
+            halfspace_family, [3.0, 4.0, 5.0], method="MNIS", seed=2,
+            n_second_stage=4000, doe_budget=60,
+        )
+        rates = [p.result.failure_probability for p in points]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_grid_refinement_stability(self):
+        """Adding sweep values must not change existing points' results
+        (child streams are independent per index... so extending the list
+        preserves the prefix)."""
+        a = failure_rate_sweep(
+            halfspace_family, [3.0, 4.0], method="MNIS", seed=3,
+            n_second_stage=500, doe_budget=60,
+        )
+        b = failure_rate_sweep(
+            halfspace_family, [3.0, 4.0, 5.0], method="MNIS", seed=3,
+            n_second_stage=500, doe_budget=60,
+        )
+        assert (
+            a[0].result.failure_probability
+            == b[0].result.failure_probability
+        )
+        assert (
+            a[1].result.failure_probability
+            == b[1].result.failure_probability
+        )
+
+    def test_empty_values_raises(self):
+        with pytest.raises(ValueError):
+            failure_rate_sweep(halfspace_family, [])
+
+    def test_table_rows(self):
+        points = failure_rate_sweep(
+            halfspace_family, [3.0], method="MNIS", seed=4,
+            n_second_stage=400, doe_budget=60,
+        )
+        rows = sweep_table_rows(points)
+        assert rows[0][0] == 3.0
+        assert rows[0][3] == points[0].result.n_total

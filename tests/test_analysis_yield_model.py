@@ -1,0 +1,91 @@
+"""Tests for the array-yield rollup (repro.analysis.yield_model)."""
+
+import math
+
+import pytest
+from scipy import stats
+
+from repro.analysis.yield_model import (
+    array_failure_probability,
+    cell_budget_for_yield,
+    repair_yield,
+)
+
+
+class TestArrayFailureProbability:
+    def test_matches_exact_binomial(self):
+        p, n = 1e-3, 500
+        exact = 1.0 - (1.0 - p) ** n
+        assert array_failure_probability(p, n) == pytest.approx(exact, rel=1e-12)
+
+    def test_stable_in_rare_regime(self):
+        """p = 1e-9, N = 1e6: naive (1-p)^n is all round-off; the stable
+        form must agree with the n*p expansion."""
+        out = array_failure_probability(1e-9, 1e6)
+        # exact limit: 1 - exp(-n p) to O(p) corrections
+        assert out == pytest.approx(-math.expm1(-1e-3), rel=1e-6)
+
+    def test_saturates_at_one(self):
+        assert array_failure_probability(1e-3, 1e8) == pytest.approx(1.0)
+
+    def test_edge_cases(self):
+        assert array_failure_probability(0.0, 1e9) == 0.0
+        assert array_failure_probability(1.0, 10) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            array_failure_probability(-0.1, 10)
+        with pytest.raises(ValueError):
+            array_failure_probability(0.5, 0)
+
+
+class TestRepairYield:
+    def test_no_repair_is_poisson_zero(self):
+        p, n = 2e-6, 1e6
+        assert repair_yield(p, n, 0) == pytest.approx(math.exp(-n * p), rel=1e-10)
+
+    def test_matches_poisson_cdf(self):
+        p, n, k = 1e-6, 4e6, 5
+        expected = stats.poisson(n * p).cdf(k)
+        assert repair_yield(p, n, k) == pytest.approx(expected, rel=1e-9)
+
+    def test_repair_improves_yield(self):
+        p, n = 2e-6, 1e6
+        yields = [repair_yield(p, n, k) for k in range(4)]
+        assert yields[0] < yields[1] < yields[2] < yields[3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            repair_yield(1e-6, 1e6, -1)
+
+
+class TestCellBudget:
+    def test_no_repair_closed_form(self):
+        y, n = 0.99, 1e7
+        assert cell_budget_for_yield(y, n, 0) == pytest.approx(
+            -math.log(y) / n, rel=1e-9
+        )
+
+    def test_round_trip(self):
+        n, k = 5e6, 3
+        budget = cell_budget_for_yield(0.95, n, k)
+        assert repair_yield(budget, n, k) == pytest.approx(0.95, rel=1e-8)
+
+    def test_repair_relaxes_budget(self):
+        budgets = [cell_budget_for_yield(0.99, 1e7, k) for k in range(3)]
+        assert budgets[0] < budgets[1] < budgets[2]
+
+    def test_paper_regime_sanity(self):
+        """For a 10 Mb array at 99% yield with no repair, the cell budget is
+        ~1e-9 — precisely the paper's 1e-8..1e-6 'extremely small failure
+        probability' regime once repair and margins enter."""
+        budget = cell_budget_for_yield(0.99, 1e7, 0)
+        assert 5e-10 < budget < 5e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cell_budget_for_yield(1.5, 1e6)
+        with pytest.raises(ValueError):
+            cell_budget_for_yield(0.9, -1)
+        with pytest.raises(ValueError):
+            cell_budget_for_yield(0.9, 1e6, -2)

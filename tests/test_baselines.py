@@ -1,0 +1,147 @@
+"""Tests for the baseline methods (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.blockade import statistical_blockade
+from repro.baselines.mis import MixtureProposal, mixture_importance_sampling
+from repro.baselines.mnis import minimum_norm_importance_sampling
+from repro.mc.counter import CountedMetric
+from repro.mc.indicator import FailureSpec
+from repro.synthetic import LinearMetric, QuadrantMetric
+
+SPEC = FailureSpec(0.0, fail_below=True)
+
+
+class TestMixtureProposal:
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            MixtureProposal(np.zeros(2), lambda_original=0.6, lambda_uniform=0.6)
+        with pytest.raises(ValueError, match="shifted component"):
+            MixtureProposal(np.zeros(2), lambda_original=1.0)
+
+    def test_logpdf_matches_manual_density(self, rng):
+        shift = np.array([2.0, -1.0])
+        prop = MixtureProposal(shift, 0.2, 0.1, cube_halfwidth=5.0)
+        from repro.stats.mvnormal import MultivariateNormal
+
+        x = rng.uniform(-4, 4, (20, 2))
+        f0 = MultivariateNormal.standard(2).pdf(x)
+        fs = MultivariateNormal(shift, np.eye(2)).pdf(x)
+        fu = np.where(np.all(np.abs(x) <= 5.0, axis=1), 1 / 10.0**2, 0.0)
+        manual = 0.2 * f0 + 0.1 * fu + 0.7 * fs
+        np.testing.assert_allclose(np.exp(prop.logpdf(x)), manual, rtol=1e-10)
+
+    def test_density_integrates_to_one(self):
+        prop = MixtureProposal(np.array([1.0]), 0.3, 0.2, cube_halfwidth=4.0)
+        x = np.linspace(-12, 12, 9601)[:, np.newaxis]
+        integral = np.trapezoid(np.exp(prop.logpdf(x)), x[:, 0])
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_sampling_component_fractions(self, rng):
+        shift = np.array([20.0, 0.0])  # separable components
+        prop = MixtureProposal(shift, 0.25, 0.0)
+        draws = prop.sample(20_000, rng)
+        frac_shifted = np.mean(draws[:, 0] > 10)
+        assert frac_shifted == pytest.approx(0.75, abs=0.02)
+
+
+class TestMIS:
+    def test_estimates_halfspace(self, rng):
+        metric = LinearMetric(np.array([1.0, 0.0]), 3.5)
+        result = mixture_importance_sampling(
+            metric, SPEC, n_first_stage=3000, n_second_stage=8000, rng=rng
+        )
+        assert result.method == "MIS"
+        assert result.failure_probability == pytest.approx(
+            metric.exact_failure_probability, rel=0.35
+        )
+
+    def test_accounting(self, rng):
+        metric = CountedMetric(QuadrantMetric(np.array([2.0, 2.0])), 2)
+        result = mixture_importance_sampling(
+            metric, SPEC, n_first_stage=1000, n_second_stage=500, rng=rng
+        )
+        assert result.n_first_stage == 1000
+        assert result.n_second_stage == 500
+        assert metric.count == 1500
+
+    def test_no_failures_raises(self, rng):
+        metric = LinearMetric(np.array([1.0, 0.0]), 50.0)
+        with pytest.raises(RuntimeError, match="no failures"):
+            mixture_importance_sampling(
+                metric, SPEC, n_first_stage=200, n_second_stage=100, rng=rng
+            )
+
+    def test_shift_is_failure_centroid(self, rng):
+        metric = QuadrantMetric(np.array([1.0, 1.0]))
+        result = mixture_importance_sampling(
+            metric, SPEC, n_first_stage=4000, n_second_stage=200, rng=rng
+        )
+        shift = result.extras["shift"]
+        # Centroid of the uniform failure samples over the quadrant cube
+        # region [1, 6]^2 is ~ (3.5, 3.5).
+        np.testing.assert_allclose(shift, [3.5, 3.5], atol=0.5)
+
+
+class TestMNIS:
+    def test_estimates_halfspace(self, rng):
+        metric = LinearMetric(np.array([0.6, 0.8]), 3.8)
+        result = minimum_norm_importance_sampling(
+            metric, SPEC, n_first_stage=200, n_second_stage=8000, rng=rng
+        )
+        assert result.method == "MNIS"
+        assert result.failure_probability == pytest.approx(
+            metric.exact_failure_probability, rel=0.3
+        )
+
+    def test_proposal_is_identity_covariance(self, rng):
+        metric = LinearMetric(np.array([1.0, 0.0]), 3.0)
+        result = minimum_norm_importance_sampling(
+            metric, SPEC, n_first_stage=100, n_second_stage=500, rng=rng
+        )
+        proposal = result.extras["proposal"]
+        np.testing.assert_array_equal(proposal.cov, np.eye(2))
+        # Mean = the minimum-norm point, on the boundary along (1, 0).
+        assert proposal.mean[0] == pytest.approx(3.0, rel=0.3)
+
+    def test_accounting_measured_not_assumed(self, rng):
+        metric = CountedMetric(LinearMetric(np.array([1.0, 0.0]), 3.0), 2)
+        result = minimum_norm_importance_sampling(
+            metric, SPEC, n_first_stage=150, n_second_stage=400, rng=rng
+        )
+        assert result.n_first_stage + result.n_second_stage == metric.count
+
+
+class TestBlockade:
+    def test_estimates_moderate_tail(self, rng):
+        """Blockade is an MC accelerator: test it at a 2.3-sigma spec where
+        plain MC statistics are meaningful."""
+        metric = LinearMetric(np.array([1.0, 0.0]), 2.3)
+        result = statistical_blockade(
+            metric, SPEC, n_samples=200_000, n_train=2000, rng=rng
+        )
+        assert result.failure_probability == pytest.approx(
+            metric.exact_failure_probability, rel=0.2
+        )
+
+    def test_blocks_most_samples(self, rng):
+        metric = CountedMetric(LinearMetric(np.array([1.0, 0.0]), 2.5), 2)
+        result = statistical_blockade(
+            metric, SPEC, n_samples=50_000, n_train=1000, rng=rng
+        )
+        # The whole point: simulate only a small tail fraction.
+        assert result.n_second_stage < 0.2 * 50_000
+        assert metric.count == result.n_first_stage + result.n_second_stage
+
+    def test_invalid_percentile_raises(self, rng):
+        metric = LinearMetric(np.array([1.0]), 2.0)
+        with pytest.raises(ValueError, match="percentile"):
+            statistical_blockade(
+                metric, SPEC, n_samples=1000, blockade_percentile=0.0, rng=rng
+            )
+
+    def test_method_label(self, rng):
+        metric = LinearMetric(np.array([1.0]), 2.0)
+        result = statistical_blockade(metric, SPEC, n_samples=5000, rng=rng)
+        assert result.method == "Blockade"

@@ -1,0 +1,93 @@
+"""Tests for the spherical-sampling baseline (repro.baselines.spherical_sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.spherical_sampling import spherical_sampling
+from repro.mc.counter import CountedMetric
+from repro.mc.indicator import FailureSpec
+from repro.synthetic import AnnularArcMetric, LinearMetric, SphereTailMetric
+
+SPEC = FailureSpec(0.0, fail_below=True)
+
+
+class TestSphericalSampling:
+    def test_exact_on_sphere_tail(self, rng):
+        """A radially-symmetric region: every shell fraction is exactly 0
+        or 1 and the estimate reduces to the Chi-square tail, up to the
+        radial resolution at the (discontinuous) onset radius."""
+        metric = SphereTailMetric(radius=4.0, dimension=2)
+        result = spherical_sampling(
+            metric, SPEC, n_shells=200, samples_per_shell=30, rng=rng
+        )
+        assert result.failure_probability == pytest.approx(
+            metric.exact_failure_probability, rel=0.2
+        )
+
+    def test_sphere_tail_converges_with_resolution(self, rng):
+        """Radial-onset bias must shrink as shells refine — the method's
+        documented accuracy limit."""
+        metric = SphereTailMetric(radius=4.0, dimension=2)
+        exact = metric.exact_failure_probability
+        errs = []
+        for n_shells in (25, 100, 400):
+            result = spherical_sampling(
+                metric, SPEC, n_shells=n_shells, samples_per_shell=10,
+                rng=np.random.default_rng(7),
+            )
+            errs.append(abs(result.failure_probability - exact) / exact)
+        assert errs[2] < errs[0]
+        assert errs[2] < 0.1
+
+    def test_halfspace(self, rng):
+        metric = LinearMetric(np.array([1.0, 0.0]), 3.5)
+        result = spherical_sampling(
+            metric, SPEC, n_shells=90, samples_per_shell=400, rng=rng
+        )
+        assert result.failure_probability == pytest.approx(
+            metric.exact_failure_probability, rel=0.3
+        )
+
+    def test_handles_bent_arc_region(self, rng):
+        """Unlike mean-shift IS, shell sampling sees every orientation, so
+        the Section V-B geometry poses no coverage problem."""
+        metric = AnnularArcMetric(radius=4.5, center_angle=0.6, half_width=0.9)
+        result = spherical_sampling(
+            metric, SPEC, n_shells=90, samples_per_shell=600, rng=rng
+        )
+        assert result.failure_probability == pytest.approx(
+            metric.exact_failure_probability, rel=0.35
+        )
+
+    def test_simulation_accounting(self, rng):
+        metric = CountedMetric(LinearMetric(np.array([1.0]), 3.0), 1)
+        result = spherical_sampling(
+            metric, SPEC, n_shells=10, samples_per_shell=20, rng=rng
+        )
+        assert metric.count == 200
+        assert result.n_second_stage == 200
+
+    def test_shell_extras(self, rng):
+        metric = SphereTailMetric(radius=3.0, dimension=2)
+        result = spherical_sampling(
+            metric, SPEC, n_shells=12, samples_per_shell=30, rng=rng
+        )
+        fr = result.extras["shell_fractions"]
+        radii = result.extras["shell_radii"]
+        # Fractions jump from 0 to 1 across the boundary radius.
+        assert np.all(fr[radii < 2.8] == 0.0)
+        assert np.all(fr[radii > 3.2] == 1.0)
+
+    def test_parameter_validation(self, rng):
+        metric = LinearMetric(np.array([1.0]), 3.0)
+        with pytest.raises(ValueError, match="shells"):
+            spherical_sampling(metric, SPEC, n_shells=1, rng=rng)
+        with pytest.raises(ValueError, match="r_min"):
+            spherical_sampling(metric, SPEC, r_min=-1.0, rng=rng)
+
+    def test_method_label(self, rng):
+        metric = LinearMetric(np.array([1.0]), 3.0)
+        result = spherical_sampling(
+            metric, SPEC, n_shells=5, samples_per_shell=10, rng=rng
+        )
+        assert result.method == "SphSamp"

@@ -1,0 +1,99 @@
+"""Tests for subset simulation (repro.baselines.subset)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.subset import subset_simulation
+from repro.mc.counter import CountedMetric
+from repro.mc.indicator import FailureSpec
+from repro.synthetic import AnnularArcMetric, LinearMetric, QuadrantMetric
+
+SPEC = FailureSpec(0.0, fail_below=True)
+
+
+class TestSubsetSimulation:
+    def test_halfspace_4sigma(self):
+        metric = LinearMetric(np.array([1.0, 0.0]), 4.0)
+        result = subset_simulation(
+            metric, SPEC, n_per_level=1500, rng=np.random.default_rng(3)
+        )
+        assert result.failure_probability == pytest.approx(
+            metric.exact_failure_probability, rel=0.4
+        )
+        assert result.extras["converged"]
+
+    def test_handles_bent_arc_region(self):
+        """No proposal distribution at all, so the Section V-B geometry is
+        harmless — the population simply flows into both arms."""
+        metric = AnnularArcMetric(radius=4.5, center_angle=0.6, half_width=0.9)
+        result = subset_simulation(
+            metric, SPEC, n_per_level=1500, rng=np.random.default_rng(3)
+        )
+        assert result.failure_probability == pytest.approx(
+            metric.exact_failure_probability, rel=0.4
+        )
+
+    def test_quadrant(self):
+        metric = QuadrantMetric(np.array([2.5, 2.5]))
+        result = subset_simulation(
+            metric, SPEC, n_per_level=1500, rng=np.random.default_rng(6)
+        )
+        assert result.failure_probability == pytest.approx(
+            metric.exact_failure_probability, rel=0.5
+        )
+
+    def test_cost_logarithmic_in_rarity(self):
+        """A 5-sigma event needs only ~1-2 more levels than a 3-sigma one."""
+        shallow = subset_simulation(
+            LinearMetric(np.array([1.0]), 3.0), SPEC,
+            n_per_level=800, rng=np.random.default_rng(0),
+        )
+        deep = subset_simulation(
+            LinearMetric(np.array([1.0]), 5.0), SPEC,
+            n_per_level=800, rng=np.random.default_rng(0),
+        )
+        assert deep.extras["converged"]
+        assert len(deep.extras["levels"]) <= len(shallow.extras["levels"]) + 3
+        assert deep.n_second_stage < 4 * shallow.n_second_stage
+
+    def test_levels_decrease_toward_zero(self):
+        metric = LinearMetric(np.array([1.0]), 4.0)
+        result = subset_simulation(
+            metric, SPEC, n_per_level=800, rng=np.random.default_rng(1)
+        )
+        levels = result.extras["levels"]
+        assert levels[-1] == 0.0
+        assert all(a > b for a, b in zip(levels, levels[1:]))
+
+    def test_unreachable_event_reports_zero(self):
+        metric = LinearMetric(np.array([1.0]), 40.0)
+        result = subset_simulation(
+            metric, SPEC, n_per_level=100, max_levels=3,
+            rng=np.random.default_rng(2),
+        )
+        assert result.failure_probability == 0.0
+        assert math.isinf(result.relative_error)
+        assert not result.extras["converged"]
+
+    def test_simulation_accounting(self):
+        metric = CountedMetric(LinearMetric(np.array([1.0]), 3.0), 1)
+        result = subset_simulation(
+            metric, SPEC, n_per_level=400, rng=np.random.default_rng(5)
+        )
+        assert result.n_second_stage == metric.count
+
+    def test_parameter_validation(self):
+        metric = LinearMetric(np.array([1.0]), 3.0)
+        with pytest.raises(ValueError, match="level_fraction"):
+            subset_simulation(metric, SPEC, level_fraction=0.9)
+        with pytest.raises(ValueError, match="n_per_level"):
+            subset_simulation(metric, SPEC, n_per_level=5)
+
+    def test_method_label(self):
+        metric = LinearMetric(np.array([1.0]), 2.5)
+        result = subset_simulation(
+            metric, SPEC, n_per_level=200, rng=np.random.default_rng(6)
+        )
+        assert result.method == "Subset"

@@ -1,0 +1,81 @@
+"""Property tests for the butterfly interpolation primitives
+(repro.sram.butterfly internals)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sram.butterfly import _interp_increasing, _interp_increasing_batched
+
+
+def monotone_values(draw, n):
+    steps = draw(
+        st.lists(st.floats(0.01, 1.0), min_size=n - 1, max_size=n - 1)
+    )
+    start = draw(st.floats(-5.0, 5.0))
+    return start + np.concatenate([[0.0], np.cumsum(steps)])
+
+
+class TestInterpIncreasing:
+    def test_exact_at_knots(self):
+        grid = np.linspace(0.0, 1.0, 11)
+        z = grid**2  # increasing
+        out = _interp_increasing(z, grid, z.copy())
+        np.testing.assert_allclose(out, grid, atol=1e-12)
+
+    def test_linear_function_exact_between_knots(self):
+        grid = np.linspace(0.0, 2.0, 21)
+        z = 3.0 * grid - 1.0
+        queries = np.array([-0.4, 0.5, 2.3, 4.9])
+        out = _interp_increasing(z, grid, queries)
+        np.testing.assert_allclose(out, (queries + 1.0) / 3.0, atol=1e-12)
+
+    def test_clamps_at_ends(self):
+        grid = np.linspace(0.0, 1.0, 5)
+        z = grid.copy()
+        out = _interp_increasing(z, grid, np.array([-10.0, 10.0]))
+        assert out[0] == grid[0]
+        assert out[1] == grid[-1]
+
+    def test_batched_columns_independent(self):
+        grid = np.linspace(0.0, 1.0, 9)
+        z = np.stack([grid, 2 * grid], axis=1)
+        out = _interp_increasing(z, grid, np.array([0.5]))
+        assert out[0, 0] == pytest.approx(0.5)
+        assert out[0, 1] == pytest.approx(0.25)
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_property(self, data):
+        """For any strictly increasing sampled function, interpolating a
+        level inside the range must return an abscissa whose linear
+        interpolation reproduces the level."""
+        n = data.draw(st.integers(4, 24))
+        z = monotone_values(data.draw, n)
+        grid = np.linspace(0.0, 1.0, n)
+        level = data.draw(st.floats(float(z[0]), float(z[-1])))
+        x = float(_interp_increasing(z, grid, np.array([level]))[0])
+        assert grid[0] <= x <= grid[-1]
+        z_back = np.interp(x, grid, z)
+        assert z_back == pytest.approx(level, abs=1e-7)
+
+
+class TestInterpIncreasingBatched:
+    def test_per_batch_queries(self):
+        grid = np.linspace(0.0, 1.0, 11)
+        z = np.stack([grid, 3 * grid], axis=1)
+        c = np.array([[0.5, 0.6]])  # one query per batch member
+        out = _interp_increasing_batched(z, grid, c)
+        assert out[0, 0] == pytest.approx(0.5)
+        assert out[0, 1] == pytest.approx(0.2)
+
+    def test_matches_shared_query_version(self):
+        rng = np.random.default_rng(0)
+        grid = np.linspace(0.0, 1.0, 15)
+        z = np.cumsum(rng.uniform(0.05, 0.3, (15, 4)), axis=0)
+        c_shared = np.array([1.0, 2.0])
+        shared = _interp_increasing(z, grid, c_shared)
+        c_batched = np.broadcast_to(c_shared[:, np.newaxis], (2, 4)).copy()
+        batched = _interp_increasing_batched(z, grid, c_batched)
+        np.testing.assert_allclose(shared, batched, atol=1e-12)

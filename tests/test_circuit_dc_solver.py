@@ -1,0 +1,138 @@
+"""Tests for the batched Newton DC solver (repro.circuit.dc_solver)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, solve_dc
+from repro.devices.mosfet import NMOS, PMOS, MosfetParams
+
+NPARAMS = MosfetParams(polarity=NMOS, vth=0.35, beta=9e-4, n=1.35, lam=0.15)
+PPARAMS = MosfetParams(polarity=PMOS, vth=0.35, beta=1.5e-4, n=1.45, lam=0.15)
+
+
+def inverter():
+    c = Circuit("inv")
+    c.add_mosfet("mn", NPARAMS, drain="out", gate="in", source="0")
+    c.add_mosfet("mp", PPARAMS, drain="out", gate="in", source="vdd", bulk="vdd")
+    return c
+
+
+class TestLinearCircuits:
+    def test_resistor_divider(self):
+        c = Circuit()
+        c.add_resistor("r1", 1000.0, "vdd", "mid")
+        c.add_resistor("r2", 3000.0, "mid", "0")
+        sol = solve_dc(c, {"vdd": 4.0})
+        assert sol.voltage("mid") == pytest.approx(3.0, abs=1e-6)
+        assert sol.converged
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.add_current_source("i1", 1e-3, "node", "0")  # 1 mA leaves "node"
+        c.add_resistor("r1", 1000.0, "node", "0")
+        sol = solve_dc(c, {}, voltage_margin=2.0)
+        # KCL: (v/R) + I = 0  ->  v = -I R
+        assert sol.voltage("node") == pytest.approx(-1.0, abs=1e-6)
+
+    def test_branch_current_query(self):
+        c = Circuit()
+        c.add_resistor("r1", 1000.0, "vdd", "mid")
+        c.add_resistor("r2", 1000.0, "mid", "0")
+        sol = solve_dc(c, {"vdd": 2.0})
+        assert sol.branch_current("r1") == pytest.approx(1e-3, rel=1e-6)
+
+    def test_unknown_clamp_node_raises(self):
+        c = Circuit()
+        c.add_resistor("r1", 1000.0, "a", "0")
+        with pytest.raises(KeyError, match="clamped node"):
+            solve_dc(c, {"nonexistent": 1.0})
+
+    def test_unknown_element_param_raises(self):
+        c = Circuit()
+        c.add_resistor("r1", 1000.0, "a", "0")
+        with pytest.raises(KeyError):
+            solve_dc(c, {"a": 1.0}, element_params={"mx": {"delta_vth": 0.0}})
+
+
+class TestInverter:
+    def test_rails(self):
+        c = inverter()
+        low = solve_dc(c, {"vdd": 1.2, "in": 0.0})
+        high = solve_dc(c, {"vdd": 1.2, "in": 1.2})
+        assert low.voltage("out") == pytest.approx(1.2, abs=0.01)
+        assert high.voltage("out") == pytest.approx(0.0, abs=0.01)
+
+    def test_vtc_monotone_decreasing(self):
+        c = inverter()
+        vouts = [
+            float(solve_dc(c, {"vdd": 1.2, "in": v}).voltage("out"))
+            for v in np.linspace(0, 1.2, 25)
+        ]
+        assert np.all(np.diff(vouts) < 1e-9)
+
+    def test_kcl_satisfied_at_solution(self):
+        c = inverter()
+        sol = solve_dc(c, {"vdd": 1.2, "in": 0.6})
+        i_n = sol.branch_current("mn")
+        i_p = sol.branch_current("mp")
+        assert i_n + i_p == pytest.approx(0.0, abs=1e-10)
+
+    def test_batched_clamps(self):
+        c = inverter()
+        vin = np.linspace(0, 1.2, 9)
+        sol = solve_dc(c, {"vdd": 1.2, "in": vin})
+        assert sol.voltage("out").shape == (9,)
+        assert np.all(sol.converged)
+        assert np.all(np.diff(sol.voltage("out")) < 1e-9)
+
+    def test_batched_delta_vth(self):
+        c = inverter()
+        dv = np.array([-0.1, 0.0, 0.1])
+        sol = solve_dc(
+            c, {"vdd": 1.2, "in": 0.6}, element_params={"mn": {"delta_vth": dv}}
+        )
+        vout = sol.voltage("out")
+        # A weaker NMOS (higher vth) pulls down less -> higher output.
+        assert vout[0] < vout[1] < vout[2]
+
+    def test_batch_shape_preserved(self):
+        c = inverter()
+        vin = np.linspace(0.2, 1.0, 6).reshape(2, 3)
+        sol = solve_dc(c, {"vdd": 1.2, "in": vin})
+        assert sol.voltage("out").shape == (2, 3)
+        assert sol.converged.shape == (2, 3)
+
+    def test_scalar_batch_returns_scalar_shape(self):
+        c = inverter()
+        sol = solve_dc(c, {"vdd": 1.2, "in": 0.5})
+        assert sol.voltage("out").shape == ()
+
+    def test_initial_guess_accepted(self):
+        c = inverter()
+        sol = solve_dc(c, {"vdd": 1.2, "in": 0.6}, initial={"out": 1.1})
+        assert sol.converged
+
+    def test_solution_independent_of_initial_guess_for_monostable(self):
+        c = inverter()
+        a = solve_dc(c, {"vdd": 1.2, "in": 0.55}, initial={"out": 0.0})
+        b = solve_dc(c, {"vdd": 1.2, "in": 0.55}, initial={"out": 1.2})
+        assert a.voltage("out") == pytest.approx(b.voltage("out"), abs=1e-7)
+
+
+class TestBistable:
+    """A cross-coupled inverter pair: basin selection via initial guess."""
+
+    def latch(self):
+        c = Circuit("latch")
+        c.add_mosfet("mn1", NPARAMS, drain="q", gate="qb", source="0")
+        c.add_mosfet("mp1", PPARAMS, drain="q", gate="qb", source="vdd", bulk="vdd")
+        c.add_mosfet("mn2", NPARAMS, drain="qb", gate="q", source="0")
+        c.add_mosfet("mp2", PPARAMS, drain="qb", gate="q", source="vdd", bulk="vdd")
+        return c
+
+    def test_two_stable_states(self):
+        c = self.latch()
+        s0 = solve_dc(c, {"vdd": 1.2}, initial={"q": 0.0, "qb": 1.2})
+        s1 = solve_dc(c, {"vdd": 1.2}, initial={"q": 1.2, "qb": 0.0})
+        assert s0.voltage("q") < 0.05 and s0.voltage("qb") > 1.15
+        assert s1.voltage("q") > 1.15 and s1.voltage("qb") < 0.05

@@ -1,0 +1,97 @@
+"""Tests for circuit construction (repro.circuit.netlist)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import GROUND, Circuit, CurrentSource, Resistor
+from repro.devices.mosfet import NMOS, MosfetParams
+
+NPARAMS = MosfetParams(polarity=NMOS, vth=0.35, beta=9e-4)
+
+
+class TestCircuitBuild:
+    def test_nodes_registered_in_order(self):
+        c = Circuit()
+        c.add_resistor("r1", 1e3, "a", "b")
+        c.add_resistor("r2", 1e3, "b", "0")
+        assert c.nodes == [GROUND, "a", "b"]
+
+    def test_duplicate_name_raises(self):
+        c = Circuit()
+        c.add_resistor("r1", 1e3, "a", "0")
+        with pytest.raises(ValueError, match="duplicate"):
+            c.add_resistor("r1", 2e3, "b", "0")
+
+    def test_element_lookup(self):
+        c = Circuit()
+        r = c.add_resistor("load", 1e3, "a", "0")
+        assert c.element("load") is r
+
+    def test_unknown_element_raises(self):
+        c = Circuit()
+        with pytest.raises(KeyError, match="no element"):
+            c.element("nope")
+
+    def test_mosfet_nodes_include_bulk(self):
+        c = Circuit()
+        m = c.add_mosfet("m1", NPARAMS, drain="d", gate="g", source="s", bulk="b")
+        assert m.nodes == ("d", "g", "s", "b")
+        assert set(c.nodes) >= {"d", "g", "s", "b"}
+
+    def test_mosfet_default_bulk_is_ground(self):
+        c = Circuit()
+        m = c.add_mosfet("m1", NPARAMS, drain="d", gate="g", source="0")
+        assert m.nodes[3] == GROUND
+
+    def test_repr(self):
+        c = Circuit("amp")
+        c.add_resistor("r1", 1e3, "a", "0")
+        assert "amp" in repr(c) and "1 elements" in repr(c)
+
+
+class TestResistor:
+    def test_nonpositive_resistance_raises(self):
+        with pytest.raises(ValueError):
+            Resistor("r", 0.0, "a", "b")
+
+    def test_kcl_contributions(self):
+        r = Resistor("r", 100.0, "a", "b")
+        currents, jac = r.kcl_contributions((np.array(1.0), np.array(0.0)))
+        assert currents[0] == pytest.approx(0.01)
+        assert currents[1] == pytest.approx(-0.01)
+        assert jac[0][0] == pytest.approx(0.01)  # dI_a/dVa = 1/R
+        assert jac[0][1] == pytest.approx(-0.01)
+
+    def test_branch_current(self):
+        r = Resistor("r", 50.0, "a", "b")
+        assert r.branch_current((2.0, 1.0)) == pytest.approx(0.02)
+
+
+class TestCurrentSource:
+    def test_contributions_independent_of_voltage(self):
+        s = CurrentSource("i", 1e-3, "a", "b")
+        currents, jac = s.kcl_contributions((np.array(5.0), np.array(-5.0)))
+        assert currents[0] == pytest.approx(1e-3)
+        assert currents[1] == pytest.approx(-1e-3)
+        assert np.all(np.asarray(jac) == 0)
+
+
+class TestMosfetElement:
+    def test_kcl_charge_conservation(self):
+        c = Circuit()
+        m = c.add_mosfet("m1", NPARAMS, "d", "g", "s")
+        v = tuple(np.array(x) for x in (1.2, 0.9, 0.0, 0.0))
+        currents, jac = m.kcl_contributions(v)
+        # Drain and source currents must cancel; gate and bulk draw nothing.
+        assert currents[0] == pytest.approx(-currents[2])
+        assert currents[1] == 0.0 and currents[3] == 0.0
+        # Jacobian rows mirror likewise.
+        for j in range(4):
+            assert jac[0][j] == pytest.approx(-jac[2][j])
+
+    def test_branch_current_matches_device(self):
+        c = Circuit()
+        m = c.add_mosfet("m1", NPARAMS, "d", "g", "s")
+        i_elem = m.branch_current((1.2, 0.9, 0.0, 0.0))
+        i_dev = m.device.current(0.9, 1.2, 0.0, 0.0)
+        assert i_elem == pytest.approx(i_dev)

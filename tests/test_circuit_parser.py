@@ -1,0 +1,103 @@
+"""Tests for the SPICE-flavoured netlist parser (repro.circuit.parser)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import solve_dc
+from repro.circuit.parser import parse_netlist, parse_value
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("100", 100.0),
+            ("1.5k", 1500.0),
+            ("10u", 1e-5),
+            ("2.5n", 2.5e-9),
+            ("3p", 3e-12),
+            ("1f", 1e-15),
+            ("4meg", 4e6),
+            ("1MEG", 1e6),
+            ("-2m", -0.002),
+            ("1e-3", 1e-3),
+            ("1.2e3k", 1.2e6),
+        ],
+    )
+    def test_suffixes(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_value("abc")
+
+    def test_unknown_suffix_raises(self):
+        with pytest.raises(ValueError):
+            parse_value("10x")
+
+
+class TestParseNetlist:
+    INVERTER = """
+    * a CMOS inverter
+    M1 out in 0   0   nmos w=0.3 l=0.1
+    M2 out in vdd vdd pmos w=0.15 l=0.1
+    """
+
+    def test_inverter_parses_and_solves(self):
+        circuit = parse_netlist(self.INVERTER)
+        assert len(circuit.elements) == 2
+        sol = solve_dc(circuit, {"vdd": 1.2, "in": 0.0})
+        assert float(sol.voltage("out")) == pytest.approx(1.2, abs=0.01)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "* c1\n\n# c2\nR1 a 0 1k\n"
+        circuit = parse_netlist(text)
+        assert len(circuit.elements) == 1
+
+    def test_resistor_divider(self):
+        circuit = parse_netlist("R1 vdd mid 1k\nR2 mid 0 3k\n")
+        sol = solve_dc(circuit, {"vdd": 4.0})
+        assert float(sol.voltage("mid")) == pytest.approx(3.0, abs=1e-6)
+
+    def test_current_source(self):
+        circuit = parse_netlist("I1 n 0 1m\nR1 n 0 1k\n")
+        sol = solve_dc(circuit, {}, voltage_margin=2.0)
+        assert float(sol.voltage("n")) == pytest.approx(-1.0, abs=1e-6)
+
+    def test_default_geometry(self):
+        circuit = parse_netlist("M1 d g 0 0 nmos\n")
+        assert circuit.element("M1").device.params.beta > 0
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_netlist("R1 a 0 1k\nM1 d g 0 nmos\n")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError, match="unknown MOSFET model"):
+            parse_netlist("M1 d g 0 0 finfet\n")
+
+    def test_unknown_mosfet_param_raises(self):
+        with pytest.raises(ValueError, match="unknown MOSFET parameters"):
+            parse_netlist("M1 d g 0 0 nmos w=0.2 l=0.1 vth=0.4\n")
+
+    def test_voltage_source_rejected_with_guidance(self):
+        with pytest.raises(ValueError, match="solve time"):
+            parse_netlist("V1 vdd 0 1.2\n")
+
+    def test_unsupported_card_raises(self):
+        with pytest.raises(ValueError, match="unsupported element"):
+            parse_netlist("C1 a 0 1p\n")
+
+    def test_empty_netlist_raises(self):
+        with pytest.raises(ValueError, match="no elements"):
+            parse_netlist("* nothing here\n")
+
+    def test_mismatch_via_element_params(self):
+        circuit = parse_netlist(self.INVERTER)
+        dv = np.array([-0.1, 0.1])
+        sol = solve_dc(
+            circuit, {"vdd": 1.2, "in": 0.6},
+            element_params={"M1": {"delta_vth": dv}},
+        )
+        vout = sol.voltage("out")
+        assert vout[0] < vout[1]

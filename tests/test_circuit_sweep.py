@@ -1,0 +1,64 @@
+"""Tests for DC sweeps (repro.circuit.sweep)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, dc_sweep
+from repro.devices.mosfet import NMOS, PMOS, MosfetParams
+
+NPARAMS = MosfetParams(polarity=NMOS, vth=0.35, beta=9e-4, n=1.35)
+PPARAMS = MosfetParams(polarity=PMOS, vth=0.35, beta=1.5e-4, n=1.45)
+
+
+def inverter():
+    c = Circuit("inv")
+    c.add_mosfet("mn", NPARAMS, drain="out", gate="in", source="0")
+    c.add_mosfet("mp", PPARAMS, drain="out", gate="in", source="vdd", bulk="vdd")
+    return c
+
+
+class TestDcSweep:
+    def test_shapes(self):
+        out = dc_sweep(
+            inverter(), "in", np.linspace(0, 1.2, 13), {"vdd": 1.2}, ["out"]
+        )
+        assert out["out"].shape == (13,)
+        assert out["converged"].shape == (13,)
+        assert np.all(out["converged"])
+
+    def test_vtc_monotone(self):
+        out = dc_sweep(
+            inverter(), "in", np.linspace(0, 1.2, 61), {"vdd": 1.2}, ["out"]
+        )
+        assert np.all(np.diff(out["out"]) < 1e-9)
+
+    def test_batched_element_params(self):
+        dv = np.array([-0.05, 0.05])
+        out = dc_sweep(
+            inverter(), "in", np.linspace(0, 1.2, 7), {"vdd": 1.2}, ["out"],
+            element_params={"mn": {"delta_vth": dv}},
+        )
+        assert out["out"].shape == (7, 2)
+        # Higher NMOS vth -> weaker pull-down -> higher output everywhere
+        # the NMOS conducts.
+        mid = out["out"][3]
+        assert mid[1] > mid[0]
+
+    def test_empty_sweep_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            dc_sweep(inverter(), "in", [], {"vdd": 1.2}, ["out"])
+
+    def test_2d_sweep_raises(self):
+        with pytest.raises(ValueError):
+            dc_sweep(inverter(), "in", np.zeros((2, 2)), {"vdd": 1.2}, ["out"])
+
+    def test_matches_pointwise_solves(self):
+        from repro.circuit import solve_dc
+
+        grid = np.linspace(0, 1.2, 9)
+        swept = dc_sweep(inverter(), "in", grid, {"vdd": 1.2}, ["out"])["out"]
+        single = np.array(
+            [float(solve_dc(inverter(), {"vdd": 1.2, "in": v}).voltage("out"))
+             for v in grid]
+        )
+        np.testing.assert_allclose(swept, single, atol=1e-8)

@@ -1,0 +1,172 @@
+"""Tests for the backward-Euler transient engine (repro.circuit.transient)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    pulse_waveform,
+    simulate_transient,
+    step_waveform,
+)
+from repro.devices.mosfet import NMOS, PMOS, MosfetParams
+
+NPARAMS = MosfetParams(polarity=NMOS, vth=0.35, beta=9e-4, n=1.35)
+PPARAMS = MosfetParams(polarity=PMOS, vth=0.35, beta=1.5e-4, n=1.45)
+
+
+def rc_circuit(r=1000.0):
+    c = Circuit("rc")
+    c.add_resistor("r1", r, "vin", "out")
+    return c
+
+
+class TestRcStep:
+    """Analytic reference: RC step response v(t) = V (1 - exp(-t/RC))."""
+
+    def test_matches_analytic_solution(self):
+        r, cap = 1000.0, 1e-12  # tau = 1 ns
+        result = simulate_transient(
+            rc_circuit(r),
+            sources={"vin": 1.0},
+            capacitances={"out": cap},
+            t_stop=5e-9,
+            dt=1e-11,
+        )
+        tau = r * cap
+        expected = 1.0 - np.exp(-result.time / tau)
+        # Backward Euler is first order: tolerance scales with dt/tau.
+        np.testing.assert_allclose(
+            result.waveform("out"), expected, atol=0.02
+        )
+        assert result.converged
+
+    def test_converges_to_dc_value(self):
+        result = simulate_transient(
+            rc_circuit(), {"vin": 2.5}, {"out": 1e-13}, t_stop=5e-9, dt=1e-11
+        )
+        assert result.waveform("out")[-1] == pytest.approx(2.5, abs=1e-3)
+
+    def test_crossing_time_of_rc(self):
+        r, cap = 1000.0, 1e-12
+        result = simulate_transient(
+            rc_circuit(r), {"vin": 1.0}, {"out": cap}, t_stop=5e-9, dt=5e-12
+        )
+        t_half = result.crossing_time("out", 0.5)
+        # Analytic: tau ln 2 = 0.693 ns (BE first-order error tolerated).
+        assert float(t_half) == pytest.approx(0.693e-9, rel=0.05)
+
+    def test_crossing_never_is_nan(self):
+        result = simulate_transient(
+            rc_circuit(), {"vin": 1.0}, {"out": 1e-12}, t_stop=1e-10, dt=1e-11
+        )
+        assert np.isnan(float(result.crossing_time("out", 0.99)))
+
+    def test_falling_crossing(self):
+        result = simulate_transient(
+            rc_circuit(),
+            {"vin": step_waveform(1e-9, 1.0, 0.0)},
+            {"out": 1e-12},
+            t_stop=4e-9,
+            dt=1e-11,
+            initial={"out": 1.0},
+        )
+        t_fall = result.crossing_time("out", 0.5, rising=False)
+        assert float(t_fall) == pytest.approx(1e-9 + 0.693e-9, rel=0.05)
+
+
+class TestWaveforms:
+    def test_step(self):
+        w = step_waveform(1.0, 0.0, 5.0)
+        assert w(0.5) == 0.0 and w(1.0) == 5.0
+
+    def test_pulse(self):
+        w = pulse_waveform(1.0, 2.0, 0.0, 3.0)
+        assert w(0.5) == 0.0 and w(1.5) == 3.0 and w(2.5) == 0.0
+
+    def test_invalid_pulse_raises(self):
+        with pytest.raises(ValueError):
+            pulse_waveform(2.0, 1.0, 0.0, 1.0)
+
+
+class TestValidation:
+    def test_bad_dt_raises(self):
+        with pytest.raises(ValueError):
+            simulate_transient(rc_circuit(), {"vin": 1.0}, {}, 1e-9, 0.0)
+
+    def test_unknown_source_node_raises(self):
+        with pytest.raises(KeyError, match="source node"):
+            simulate_transient(
+                rc_circuit(), {"bogus": 1.0}, {}, 1e-9, 1e-10
+            )
+
+    def test_negative_capacitance_raises(self):
+        with pytest.raises(ValueError, match="capacitances"):
+            simulate_transient(
+                rc_circuit(), {"vin": 1.0}, {"out": -1e-12}, 1e-9, 1e-10
+            )
+
+    def test_unknown_element_param_raises(self):
+        with pytest.raises(KeyError):
+            simulate_transient(
+                rc_circuit(), {"vin": 1.0}, {"out": 1e-12}, 1e-9, 1e-10,
+                element_params={"nope": {"delta_vth": 0.0}},
+            )
+
+
+class TestInverterTransient:
+    def inverter(self):
+        c = Circuit("inv")
+        c.add_mosfet("mn", NPARAMS, drain="out", gate="in", source="0")
+        c.add_mosfet("mp", PPARAMS, drain="out", gate="in", source="vdd", bulk="vdd")
+        return c
+
+    def test_output_falls_on_input_step(self):
+        result = simulate_transient(
+            self.inverter(),
+            sources={"vdd": 1.2, "in": step_waveform(1e-10, 0.0, 1.2)},
+            capacitances={"out": 5e-15},
+            t_stop=1e-9,
+            dt=2e-12,
+            initial={"out": 1.2},
+        )
+        wave = result.waveform("out")
+        assert wave[0] == pytest.approx(1.2, abs=0.05)
+        assert wave[-1] < 0.05
+
+    def test_batched_delta_vth_changes_delay(self):
+        dv = np.array([-0.08, 0.0, 0.08])
+        result = simulate_transient(
+            self.inverter(),
+            sources={"vdd": 1.2, "in": step_waveform(1e-10, 0.0, 1.2)},
+            capacitances={"out": 5e-15},
+            t_stop=1e-9,
+            dt=2e-12,
+            element_params={"mn": {"delta_vth": dv}},
+            initial={"out": 1.2},
+        )
+        delays = result.crossing_time("out", 0.6, rising=False)
+        assert delays.shape == (3,)
+        # Higher NMOS vth -> weaker pull-down -> slower fall.
+        assert delays[0] < delays[1] < delays[2]
+
+
+class TestWriteTimeMetric:
+    def test_nominal_and_degradation(self, cell):
+        from repro.sram.dynamic import WriteTimeMetric
+
+        metric = WriteTimeMetric(cell)
+        x = np.zeros((3, 6))
+        x[1, 2] = 4.0    # weaker access slows the write
+        x[2, 2] = 12.0   # extreme corner: write failure
+        x[2, 4] = -12.0
+        times = metric(x)
+        assert 5e-12 < times[0] < 1e-10
+        assert times[1] > times[0]
+        assert times[2] == pytest.approx(metric.t_window)
+
+    def test_invalid_capacitance_raises(self, cell):
+        from repro.sram.dynamic import WriteTimeMetric
+
+        with pytest.raises(ValueError):
+            WriteTimeMetric(cell, node_capacitance=0.0)

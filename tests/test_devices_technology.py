@@ -1,0 +1,67 @@
+"""Tests for technology parameters and the Pelgrom model (repro.devices.technology)."""
+
+import math
+
+import pytest
+
+from repro.devices.mosfet import NMOS, PMOS
+from repro.devices.technology import (
+    DEFAULT_GEOMETRIES,
+    DeviceGeometry,
+    Technology,
+    default_technology,
+)
+
+
+class TestDeviceGeometry:
+    def test_area_and_ratio(self):
+        g = DeviceGeometry(width=0.3, length=0.1)
+        assert g.area == pytest.approx(0.03)
+        assert g.ratio == pytest.approx(3.0)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            DeviceGeometry(width=0.0, length=0.1)
+        with pytest.raises(ValueError):
+            DeviceGeometry(width=0.1, length=-0.1)
+
+
+class TestTechnology:
+    tech = default_technology()
+
+    def test_default_supply(self):
+        assert self.tech.vdd == pytest.approx(1.2)
+
+    def test_nmos_params(self):
+        g = DeviceGeometry(0.3, 0.1)
+        p = self.tech.nmos(g)
+        assert p.polarity == NMOS
+        assert p.beta == pytest.approx(self.tech.kp_n * 3.0)
+        assert p.vth == pytest.approx(self.tech.vth_n)
+
+    def test_pmos_params(self):
+        g = DeviceGeometry(0.15, 0.1)
+        p = self.tech.pmos(g)
+        assert p.polarity == PMOS
+        assert p.beta == pytest.approx(self.tech.kp_p * 1.5)
+
+    def test_pelgrom_sigma(self):
+        g = DeviceGeometry(0.2, 0.1)
+        expected = self.tech.avt / math.sqrt(0.02)
+        assert self.tech.sigma_vth(g) == pytest.approx(expected)
+
+    def test_smaller_device_more_mismatch(self):
+        small = DeviceGeometry(0.12, 0.1)
+        large = DeviceGeometry(0.4, 0.1)
+        assert self.tech.sigma_vth(small) > self.tech.sigma_vth(large)
+
+    def test_default_geometries_cover_roles(self):
+        assert set(DEFAULT_GEOMETRIES) == {"pull_down", "access", "pull_up"}
+
+    def test_cell_ratio_above_one(self):
+        """Default sizing must be read-stable: pull-down stronger than access."""
+        ratio = (
+            DEFAULT_GEOMETRIES["pull_down"].ratio
+            / DEFAULT_GEOMETRIES["access"].ratio
+        )
+        assert ratio > 1.0

@@ -1,0 +1,82 @@
+"""Tests for the failure-interval binary search (repro.gibbs.bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.gibbs.bounds import failure_interval
+
+
+def interval_indicator(lo, hi):
+    """Failure region = [lo, hi] on the line."""
+
+    def fails(v):
+        v = np.atleast_1d(v)
+        return (v >= lo) & (v <= hi)
+
+    return fails
+
+
+class TestFailureInterval:
+    def test_brackets_known_interval(self):
+        fails = interval_indicator(1.0, 3.0)
+        result = failure_interval(fails, current=2.0, lo=-8.0, hi=8.0,
+                                  bisect_iters=12)
+        assert result.lower == pytest.approx(1.0, abs=0.01)
+        assert result.upper == pytest.approx(3.0, abs=0.01)
+
+    def test_returned_interval_verified_failing(self):
+        """The bounds must lie INSIDE the true region (conservative)."""
+        fails = interval_indicator(1.0, 3.0)
+        result = failure_interval(fails, 2.0, -8.0, 8.0, bisect_iters=4)
+        assert fails(np.array([result.lower]))[0]
+        assert fails(np.array([result.upper]))[0]
+        assert result.lower <= 2.0 <= result.upper
+
+    def test_endpoint_failing_skips_search(self):
+        """Region unbounded to the right: the clamp endpoint is the bound
+        and costs no bisection there."""
+        fails = interval_indicator(1.0, 100.0)
+        result = failure_interval(fails, 2.0, -8.0, 8.0, bisect_iters=5)
+        assert result.upper == 8.0
+        # 2 endpoint sims + 5 left-side bisections only.
+        assert result.n_simulations == 2 + 5
+
+    def test_both_endpoints_failing_costs_two_sims(self):
+        fails = interval_indicator(-100.0, 100.0)
+        result = failure_interval(fails, 0.0, -8.0, 8.0)
+        assert (result.lower, result.upper) == (-8.0, 8.0)
+        assert result.n_simulations == 2
+
+    def test_simulation_count_paired_search(self):
+        """Interior region: 2 endpoint sims + 2 per bisection step."""
+        fails = interval_indicator(-1.0, 1.0)
+        result = failure_interval(fails, 0.0, -8.0, 8.0, bisect_iters=6)
+        assert result.n_simulations == 2 + 2 * 6
+
+    def test_resolution_improves_with_depth(self):
+        fails = interval_indicator(0.7, 1.9)
+        coarse = failure_interval(fails, 1.0, -8.0, 8.0, bisect_iters=3)
+        fine = failure_interval(fails, 1.0, -8.0, 8.0, bisect_iters=14)
+        err_coarse = abs(coarse.lower - 0.7) + abs(coarse.upper - 1.9)
+        err_fine = abs(fine.lower - 0.7) + abs(fine.upper - 1.9)
+        assert err_fine < err_coarse
+        assert err_fine < 1e-3
+
+    def test_current_outside_clamps_raises(self):
+        fails = interval_indicator(0.0, 1.0)
+        with pytest.raises(ValueError, match="outside clamp"):
+            failure_interval(fails, 9.0, -8.0, 8.0)
+
+    def test_narrow_slice_collapses_to_current(self):
+        """A slice narrower than the bisection resolution yields a
+        zero-width interval anchored at the current value — the degenerate
+        case the conditional sampler guards (and the mechanism that froze
+        the naive spherical chain, cf. gibbs/spherical.py)."""
+        fails = interval_indicator(0.999, 1.001)
+        result = failure_interval(fails, 1.0, -8.0, 8.0, bisect_iters=5)
+        assert result.width < 0.01
+
+    def test_width_property(self):
+        fails = interval_indicator(-2.0, 2.0)
+        result = failure_interval(fails, 0.0, -8.0, 8.0, bisect_iters=10)
+        assert result.width == pytest.approx(4.0, abs=0.05)

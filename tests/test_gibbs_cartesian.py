@@ -1,0 +1,95 @@
+"""Tests for the Cartesian Gibbs chain (repro.gibbs.cartesian)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.gibbs.cartesian import CartesianGibbs
+from repro.mc.indicator import FailureSpec
+from repro.synthetic import LinearMetric, QuadrantMetric
+
+SPEC = FailureSpec(0.0, fail_below=True)
+
+
+class TestChainMechanics:
+    def quadrant_sampler(self):
+        return CartesianGibbs(QuadrantMetric(np.zeros(2)), SPEC, bisect_iters=8)
+
+    def test_samples_shape(self, rng):
+        chain = self.quadrant_sampler().run(np.array([1.0, 1.0]), 50, rng)
+        assert chain.samples.shape == (50, 2)
+        assert chain.n_samples == 50
+
+    def test_all_samples_in_failure_region(self, rng):
+        """The chain must never leave the (convex, single) failure region."""
+        chain = self.quadrant_sampler().run(np.array([1.0, 1.0]), 200, rng)
+        assert np.all(chain.samples >= -1e-9)
+
+    def test_simulation_accounting(self, rng):
+        chain = self.quadrant_sampler().run(np.array([1.0, 1.0]), 40, rng)
+        # 1 start verification + per-sample searches (2 endpoint sims plus
+        # up to 2 per bisection step).
+        assert chain.n_simulations >= 1 + 40 * 2
+        assert chain.n_simulations <= 1 + 40 * (2 + 2 * 8)
+        assert chain.simulations_per_sample > 2
+
+    def test_interval_widths_recorded(self, rng):
+        chain = self.quadrant_sampler().run(np.array([1.0, 1.0]), 30, rng)
+        assert len(chain.interval_widths) == 30
+
+    def test_bad_start_raises(self, rng):
+        with pytest.raises(ValueError, match="not in the failure region"):
+            self.quadrant_sampler().run(np.array([-3.0, -3.0]), 10, rng)
+
+    def test_verify_start_skippable(self, rng):
+        sampler = self.quadrant_sampler()
+        chain = sampler.run(np.array([1.0, 1.0]), 10, rng, verify_start=False)
+        with_verify = sampler.run(np.array([1.0, 1.0]), 10, rng, verify_start=True)
+        assert with_verify.n_simulations >= chain.n_simulations
+
+    def test_wrong_dimension_start_raises(self, rng):
+        with pytest.raises(ValueError, match="dimension"):
+            self.quadrant_sampler().run(np.array([1.0, 1.0, 1.0]), 10, rng)
+
+    def test_nonpositive_samples_raises(self, rng):
+        with pytest.raises(ValueError):
+            self.quadrant_sampler().run(np.array([1.0, 1.0]), 0, rng)
+
+    def test_invalid_zeta_raises(self):
+        with pytest.raises(ValueError, match="zeta"):
+            CartesianGibbs(QuadrantMetric(np.zeros(2)), SPEC, zeta=-1.0)
+
+    def test_deterministic_with_seed(self):
+        sampler = self.quadrant_sampler()
+        a = sampler.run(np.array([1.0, 1.0]), 20, np.random.default_rng(5))
+        b = sampler.run(np.array([1.0, 1.0]), 20, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+
+class TestStationaryDistribution:
+    def test_halfspace_marginal_is_truncated_normal(self, rng):
+        """On the region {x1 >= b}, g_opt factorises: x1 follows a Normal
+        truncated to [b, inf) and x2 stays standard Normal.  The chain's
+        samples must match both marginals."""
+        b = 2.0
+        metric = LinearMetric(np.array([1.0, 0.0]), b)
+        sampler = CartesianGibbs(metric, SPEC, bisect_iters=14)
+        chain = sampler.run(np.array([2.5, 0.0]), 4000, rng)
+        x1 = chain.samples[:, 0]
+        x2 = chain.samples[:, 1]
+        ks1 = stats.kstest(x1, stats.truncnorm(b, 8.0).cdf)
+        ks2 = stats.kstest(x2, stats.norm.cdf)
+        # Gibbs samples are serially correlated; use a lenient threshold.
+        assert ks1.pvalue > 1e-5
+        assert ks2.pvalue > 1e-5
+
+    def test_quadrant_corner_density(self, rng):
+        """On Eq. (18)'s quarter plane, g_opt = truncated Normals on each
+        axis: most mass hugs the corner."""
+        sampler = CartesianGibbs(
+            QuadrantMetric(np.zeros(2)), SPEC, bisect_iters=12
+        )
+        chain = sampler.run(np.array([0.5, 0.5]), 3000, rng)
+        for k in range(2):
+            ks = stats.kstest(chain.samples[:, k], stats.truncnorm(0.0, 8.0).cdf)
+            assert ks.pvalue > 1e-5

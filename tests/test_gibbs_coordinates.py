@@ -1,0 +1,112 @@
+"""Tests for the redundant spherical parameterisation (repro.gibbs.coordinates).
+
+The centrepiece is the empirical verification of Theorem 1: drawing
+r ~ Chi(M) and alpha ~ N(0, I_M) and mapping through Eq. (11) must
+reproduce x ~ N(0, I_M) exactly.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.gibbs.coordinates import (
+    cartesian_radius,
+    initial_spherical_coordinates,
+    spherical_to_cartesian,
+)
+from repro.stats.distributions import ChiDistribution
+
+
+class TestSphericalToCartesian:
+    def test_radius_preserved(self, rng):
+        alpha = rng.standard_normal((100, 4))
+        r = rng.uniform(0.5, 5.0, 100)
+        x = spherical_to_cartesian(r, alpha)
+        np.testing.assert_allclose(np.linalg.norm(x, axis=1), r, rtol=1e-12)
+
+    def test_direction_preserved(self, rng):
+        alpha = np.array([3.0, 4.0])
+        x = spherical_to_cartesian(10.0, alpha)
+        np.testing.assert_allclose(x[0], [6.0, 8.0], rtol=1e-12)
+
+    def test_scale_redundancy(self):
+        """Eq. (11): scaling alpha leaves x unchanged."""
+        alpha = np.array([1.0, -2.0, 0.5])
+        a = spherical_to_cartesian(3.0, alpha)
+        b = spherical_to_cartesian(3.0, 100.0 * alpha)
+        c = spherical_to_cartesian(3.0, 1e-3 * alpha)
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+        np.testing.assert_allclose(a, c, rtol=1e-12)
+
+    def test_zero_alpha_raises(self):
+        with pytest.raises(ValueError, match="zero length"):
+            spherical_to_cartesian(1.0, np.zeros(3))
+
+
+class TestTheorem1:
+    """Given r ~ Chi(M) and alpha ~ N(0, I), x of Eq. (11) is N(0, I)."""
+
+    def draw_x(self, rng, m, n):
+        r = ChiDistribution(m).sample(rng, n)
+        alpha = rng.standard_normal((n, m))
+        return spherical_to_cartesian(r, alpha)
+
+    @pytest.mark.parametrize("m", [2, 3, 6])
+    def test_marginals_standard_normal(self, rng, m):
+        x = self.draw_x(rng, m, 40_000)
+        for k in range(m):
+            ks = stats.kstest(x[:, k], stats.norm.cdf)
+            assert ks.pvalue > 1e-4
+
+    def test_components_uncorrelated(self, rng):
+        x = self.draw_x(rng, 4, 100_000)
+        cov = np.cov(x, rowvar=False)
+        np.testing.assert_allclose(cov, np.eye(4), atol=0.02)
+
+    def test_moments(self, rng):
+        x = self.draw_x(rng, 6, 100_000)
+        np.testing.assert_allclose(x.mean(axis=0), 0.0, atol=0.02)
+        np.testing.assert_allclose(x.std(axis=0), 1.0, atol=0.02)
+
+    def test_orientation_uniform(self, rng):
+        """Marsaglia [17]: alpha/||alpha|| is uniform on the sphere; in 2-D
+        the polar angle must be uniform."""
+        alpha = rng.standard_normal((40_000, 2))
+        theta = np.arctan2(alpha[:, 1], alpha[:, 0])
+        ks = stats.kstest(theta, stats.uniform(-np.pi, 2 * np.pi).cdf)
+        assert ks.pvalue > 1e-4
+
+
+class TestInitialCoordinates:
+    def test_radius_is_norm(self):
+        x0 = np.array([3.0, 4.0])
+        r, alpha = initial_spherical_coordinates(x0)
+        assert r == pytest.approx(5.0)
+
+    def test_alpha_epsilon_length(self):
+        x0 = np.array([1.0, 1.0, 1.0])
+        _, alpha = initial_spherical_coordinates(x0, epsilon=1e-3)
+        assert np.linalg.norm(alpha) == pytest.approx(1e-3)
+
+    def test_round_trip_to_x(self):
+        """Eq. (30)-(32): mapping back must recover the starting point."""
+        x0 = np.array([1.0, -2.0, 0.5, 3.0])
+        r, alpha = initial_spherical_coordinates(x0, epsilon=1e-2)
+        x_back = spherical_to_cartesian(r, alpha)[0]
+        np.testing.assert_allclose(x_back, x0, rtol=1e-10)
+
+    def test_origin_raises(self):
+        with pytest.raises(ValueError, match="origin"):
+            initial_spherical_coordinates(np.zeros(3))
+
+    def test_nonpositive_epsilon_raises(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            initial_spherical_coordinates(np.ones(2), epsilon=0.0)
+
+
+class TestCartesianRadius:
+    def test_matches_norm(self, rng):
+        x = rng.standard_normal((20, 5))
+        np.testing.assert_allclose(
+            cartesian_radius(x), np.linalg.norm(x, axis=1)
+        )

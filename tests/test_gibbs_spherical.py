@@ -1,0 +1,157 @@
+"""Tests for the spherical Gibbs chain (repro.gibbs.spherical)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.gibbs.coordinates import initial_spherical_coordinates
+from repro.gibbs.spherical import SphericalGibbs
+from repro.mc.indicator import FailureSpec
+from repro.synthetic import AnnularArcMetric, QuadrantMetric, SphereTailMetric
+from repro.gibbs.cartesian import CartesianGibbs
+
+SPEC = FailureSpec(0.0, fail_below=True)
+
+
+class TestChainMechanics:
+    def quadrant_sampler(self, **kw):
+        return SphericalGibbs(QuadrantMetric(np.zeros(2)), SPEC, **kw)
+
+    def start(self):
+        return initial_spherical_coordinates(np.array([1.0, 1.0]))
+
+    def test_samples_shape(self, rng):
+        r0, a0 = self.start()
+        chain = self.quadrant_sampler().run(r0, a0, 60, rng)
+        assert chain.samples.shape == (60, 2)
+
+    def test_samples_stay_in_failure_region(self, rng):
+        r0, a0 = self.start()
+        chain = self.quadrant_sampler().run(r0, a0, 300, rng)
+        assert np.all(chain.samples >= -1e-9)
+
+    def test_bad_start_raises(self, rng):
+        with pytest.raises(ValueError, match="not in the failure region"):
+            self.quadrant_sampler().run(2.0, np.array([-1.0, -1.0]), 10, rng)
+
+    def test_invalid_r0_raises(self, rng):
+        with pytest.raises(ValueError, match="r0"):
+            self.quadrant_sampler().run(-1.0, np.array([1.0, 1.0]), 10, rng)
+
+    def test_wrong_alpha_dimension_raises(self, rng):
+        with pytest.raises(ValueError, match="dimension"):
+            self.quadrant_sampler().run(1.0, np.ones(3), 10, rng)
+
+    def test_deterministic(self):
+        r0, a0 = self.start()
+        sampler = self.quadrant_sampler()
+        a = sampler.run(r0, a0, 25, np.random.default_rng(9))
+        b = sampler.run(r0, a0, 25, np.random.default_rng(9))
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_default_alpha_depth_deeper(self):
+        sampler = self.quadrant_sampler(bisect_iters=5)
+        assert sampler.alpha_bisect_iters == 8
+
+    def test_epsilon_start_not_frozen(self, rng):
+        """Regression: starting from the Eq.-32 initialisation
+        (||alpha|| ~ 1e-2), the chain's orientation must still move —
+        per-sweep renormalisation restores slice visibility."""
+        r0, a0 = initial_spherical_coordinates(
+            np.array([1.0, 1.0]), epsilon=1e-2
+        )
+        chain = self.quadrant_sampler().run(r0, a0, 200, rng)
+        angles = np.arctan2(chain.samples[:, 1], chain.samples[:, 0])
+        assert angles.std() > 0.1
+
+    def test_frozen_without_normalization(self, rng):
+        """Documented pathology: on a *narrow* angular failure region the
+        microscopic Eq.-32 alpha scale makes the orientation slices
+        invisible to the binary search, freezing the direction.  (On wide
+        regions like the quadrant, whose slices extend to the clamp, the
+        chain survives even without renormalisation.)"""
+        metric = AnnularArcMetric(
+            radius=3.0, center_angle=math.pi / 4, half_width=math.radians(20)
+        )
+        start = 3.3 * np.array([math.cos(math.pi / 4), math.sin(math.pi / 4)])
+        r0, a0 = initial_spherical_coordinates(start, epsilon=1e-3)
+        sampler = SphericalGibbs(metric, SPEC, normalize_each_sweep=False)
+        chain = sampler.run(r0, a0, 120, rng)
+        angles = np.arctan2(chain.samples[:, 1], chain.samples[:, 0])
+        assert angles.std() < 1e-6
+        # With renormalisation the same chain mixes over the arc.
+        fixed = SphericalGibbs(metric, SPEC, normalize_each_sweep=True)
+        chain2 = fixed.run(r0, a0, 120, rng)
+        angles2 = np.arctan2(chain2.samples[:, 1], chain2.samples[:, 0])
+        assert angles2.std() > 0.05
+
+
+class TestStationaryDistribution:
+    def test_sphere_tail_radius_marginal(self, rng):
+        """On {||x|| >= r0}, g_opt's radius marginal is Chi(M) truncated to
+        [r0, inf) and the orientation is uniform."""
+        metric = SphereTailMetric(radius=2.5, dimension=2)
+        sampler = SphericalGibbs(metric, SPEC, bisect_iters=12)
+        r0, a0 = initial_spherical_coordinates(np.array([2.8, 0.0]))
+        chain = sampler.run(r0, a0, 4000, rng)
+        radii = np.linalg.norm(chain.samples, axis=1)
+        assert np.all(radii >= 2.5 - 1e-6)
+        frozen = stats.chi(2)
+        def trunc_cdf(r):
+            tail = 1.0 - frozen.cdf(2.5)
+            return np.clip((frozen.cdf(r) - frozen.cdf(2.5)) / tail, 0, 1)
+        ks = stats.kstest(radii, trunc_cdf)
+        assert ks.pvalue > 1e-5
+
+    def test_sphere_tail_orientation_coverage(self, rng):
+        """A full shell fails at every angle: the chain must cover (most of)
+        the circle, not hug its starting direction."""
+        metric = SphereTailMetric(radius=2.5, dimension=2)
+        sampler = SphericalGibbs(metric, SPEC)
+        r0, a0 = initial_spherical_coordinates(np.array([2.8, 0.0]))
+        chain = sampler.run(r0, a0, 2000, rng)
+        angles = np.arctan2(chain.samples[:, 1], chain.samples[:, 0])
+        # At least three of the four quadrants visited.
+        quadrant_counts = np.histogram(angles, bins=4, range=(-np.pi, np.pi))[0]
+        assert np.count_nonzero(quadrant_counts) >= 3
+
+
+class TestArcTraversal:
+    """The Fig. 14 comparison: on an arc-shaped region the spherical chain
+    travels along the probability contour while the Cartesian chain stays
+    trapped near its starting end."""
+
+    def setup_problem(self):
+        # 140-degree arc at radius 3.5, centred at 45 degrees.
+        return AnnularArcMetric(
+            radius=3.5, center_angle=math.pi / 4, half_width=math.radians(70)
+        )
+
+    def angular_spread(self, samples):
+        angles = np.arctan2(samples[:, 1], samples[:, 0])
+        return angles.max() - angles.min()
+
+    def test_spherical_covers_arc(self, rng):
+        metric = self.setup_problem()
+        start = 3.7 * np.array(
+            [math.cos(math.pi / 4 - 1.1), math.sin(math.pi / 4 - 1.1)]
+        )
+        assert metric(start[np.newaxis, :])[0] < 0  # failing start, one end
+        r0, a0 = initial_spherical_coordinates(start)
+        chain = SphericalGibbs(metric, SPEC).run(r0, a0, 600, rng)
+        assert self.angular_spread(chain.samples) > 1.5  # radians
+
+    def test_cartesian_narrower_than_spherical(self, rng):
+        metric = self.setup_problem()
+        start = 3.7 * np.array(
+            [math.cos(math.pi / 4 - 1.1), math.sin(math.pi / 4 - 1.1)]
+        )
+        r0, a0 = initial_spherical_coordinates(start)
+        spherical = SphericalGibbs(metric, SPEC).run(r0, a0, 400, rng)
+        cartesian = CartesianGibbs(metric, SPEC).run(start, 400, rng)
+        assert (
+            self.angular_spread(cartesian.samples)
+            < self.angular_spread(spherical.samples)
+        )

@@ -1,0 +1,79 @@
+"""Tests for Algorithm 4 (repro.gibbs.starting_point)."""
+
+import numpy as np
+import pytest
+
+from repro.gibbs.starting_point import find_starting_point
+from repro.mc.counter import CountedMetric
+from repro.mc.indicator import FailureSpec
+from repro.synthetic import AnnularArcMetric, LinearMetric, QuadrantMetric
+
+SPEC = FailureSpec(0.0, fail_below=True)
+
+
+class TestFindStartingPoint:
+    def test_halfspace_minimum_norm(self, rng):
+        """On {a.x >= b} the true minimum-norm failure point is at distance
+        b/||a|| along a; Algorithm 4 must land near it."""
+        metric = LinearMetric(np.array([1.0, 1.0]), 4.0)
+        sp = find_starting_point(metric, SPEC, rng=rng, order="linear")
+        assert SPEC.indicator(metric(sp.x[np.newaxis, :]))[0]
+        # true minimum norm = 4 / sqrt(2) ~ 2.83; verification walk may
+        # overshoot by the 1.1-1.25 scale steps.
+        assert sp.norm == pytest.approx(4.0 / np.sqrt(2), rel=0.35)
+
+    def test_point_verified_failing(self, rng):
+        metric = QuadrantMetric(np.array([2.0, 2.0]))
+        sp = find_starting_point(metric, SPEC, rng=rng)
+        assert SPEC.indicator(metric(sp.x[np.newaxis, :]))[0]
+
+    def test_quadratic_surrogate_on_curved_region(self, rng):
+        metric = AnnularArcMetric(radius=3.5, center_angle=0.5, half_width=1.0)
+        sp = find_starting_point(metric, SPEC, rng=rng)
+        assert SPEC.indicator(metric(sp.x[np.newaxis, :]))[0]
+        assert sp.norm < 7.0
+
+    def test_simulation_accounting(self, rng):
+        metric = CountedMetric(LinearMetric(np.array([1.0, 0.0]), 3.0), 2)
+        sp = find_starting_point(metric, SPEC, rng=rng, doe_budget=60)
+        assert sp.n_simulations == metric.count
+        assert sp.n_simulations >= 60  # DOE + at least one verification
+
+    def test_spherical_coordinates_consistent(self, rng):
+        metric = LinearMetric(np.array([0.0, 1.0]), 3.5)
+        sp = find_starting_point(metric, SPEC, rng=rng)
+        assert sp.r == pytest.approx(np.linalg.norm(sp.x))
+        direction = sp.alpha / np.linalg.norm(sp.alpha)
+        np.testing.assert_allclose(direction, sp.x / sp.r, rtol=1e-9)
+
+    def test_doe_budget_too_small_raises(self, rng):
+        metric = LinearMetric(np.ones(4), 3.0)
+        with pytest.raises(ValueError):
+            find_starting_point(metric, SPEC, rng=rng, doe_budget=5)
+
+    def test_unreachable_region_raises(self, rng):
+        metric = LinearMetric(np.array([1.0, 0.0]), 50.0)  # 50 sigma away
+        with pytest.raises(RuntimeError, match="failed to locate"):
+            find_starting_point(metric, SPEC, rng=rng)
+
+    def test_invalid_order_raises(self, rng):
+        metric = LinearMetric(np.ones(2), 3.0)
+        with pytest.raises(ValueError, match="order"):
+            find_starting_point(metric, SPEC, rng=rng, order="cubic")
+
+    def test_linear_order_cheaper_budget(self, rng):
+        metric = CountedMetric(LinearMetric(np.ones(6), 8.0), 6)
+        sp = find_starting_point(metric, SPEC, rng=rng, order="linear")
+        # Linear default budget (~50) far below the quadratic one (~2*28).
+        assert sp.n_simulations < 80
+
+    def test_deterministic_with_seed(self):
+        metric = LinearMetric(np.array([1.0, -0.5]), 3.0)
+        a = find_starting_point(metric, SPEC, rng=np.random.default_rng(2))
+        b = find_starting_point(metric, SPEC, rng=np.random.default_rng(2))
+        np.testing.assert_array_equal(a.x, b.x)
+
+    def test_epsilon_controls_alpha_length(self, rng):
+        metric = LinearMetric(np.array([1.0, 0.0]), 3.0)
+        sp = find_starting_point(metric, SPEC, rng=rng, epsilon=1e-3)
+        assert np.linalg.norm(sp.alpha) == pytest.approx(1e-3)

@@ -1,0 +1,147 @@
+"""Tests for the complete two-stage flow, Algorithm 5 (repro.gibbs.two_stage).
+
+These are the estimator-correctness tests: on synthetic problems with exact
+answers, both G-C and G-S must recover the truth within their reported
+confidence intervals (with margin for MC fluctuation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gibbs.two_stage import gibbs_importance_sampling
+from repro.mc.counter import CountedMetric
+from repro.mc.indicator import FailureSpec
+from repro.stats.mixture import GaussianMixture
+from repro.stats.mvnormal import MultivariateNormal
+from repro.synthetic import AnnularArcMetric, LinearMetric, QuadrantMetric
+
+SPEC = FailureSpec(0.0, fail_below=True)
+
+
+class TestEstimates:
+    @pytest.mark.parametrize("system", ["cartesian", "spherical"])
+    def test_halfspace_4sigma(self, system):
+        metric = LinearMetric(np.array([1.0, 0.5, -0.3, 0.2]), 4.0)
+        result = gibbs_importance_sampling(
+            metric, SPEC, coordinate_system=system,
+            n_gibbs=250, n_second_stage=4000, rng=11,
+        )
+        exact = metric.exact_failure_probability
+        assert result.failure_probability == pytest.approx(exact, rel=0.25)
+
+    @pytest.mark.parametrize("system", ["cartesian", "spherical"])
+    def test_quadrant(self, system):
+        metric = QuadrantMetric(np.array([2.5, 2.5]))
+        result = gibbs_importance_sampling(
+            metric, SPEC, coordinate_system=system,
+            n_gibbs=250, n_second_stage=4000, rng=12,
+        )
+        exact = metric.exact_failure_probability
+        assert result.failure_probability == pytest.approx(exact, rel=0.3)
+
+    def test_spherical_wins_on_arc(self):
+        """The Section V-B/Table II shape with a closed-form answer: G-S
+        recovers the truth; G-C, trapped in one end of the arc,
+        underestimates."""
+        metric = AnnularArcMetric(radius=4.5, center_angle=0.6, half_width=0.9)
+        exact = metric.exact_failure_probability
+        gs = gibbs_importance_sampling(
+            metric, SPEC, coordinate_system="spherical",
+            n_gibbs=300, n_second_stage=6000, rng=5,
+        )
+        gc = gibbs_importance_sampling(
+            metric, SPEC, coordinate_system="cartesian",
+            n_gibbs=300, n_second_stage=6000, rng=5,
+        )
+        assert gs.failure_probability == pytest.approx(exact, rel=0.3)
+        assert gc.failure_probability < 0.75 * exact
+
+
+class TestFlowMechanics:
+    def metric(self):
+        return LinearMetric(np.array([1.0, 0.0]), 3.5)
+
+    def test_method_labels(self):
+        for system, label in (("cartesian", "G-C"), ("spherical", "G-S")):
+            result = gibbs_importance_sampling(
+                self.metric(), SPEC, coordinate_system=system,
+                n_gibbs=60, n_second_stage=300, rng=0,
+            )
+            assert result.method == label
+
+    def test_invalid_system_raises(self):
+        with pytest.raises(ValueError, match="coordinate_system"):
+            gibbs_importance_sampling(
+                self.metric(), SPEC, coordinate_system="polar"
+            )
+
+    def test_invalid_fit_raises(self):
+        with pytest.raises(ValueError, match="proposal_fit"):
+            gibbs_importance_sampling(
+                self.metric(), SPEC, n_gibbs=60, n_second_stage=300,
+                proposal_fit="cauchy", rng=0,
+            )
+
+    def test_simulation_accounting_consistent(self):
+        counted = CountedMetric(self.metric(), 2)
+        result = gibbs_importance_sampling(
+            counted, SPEC, n_gibbs=80, n_second_stage=400, rng=1,
+        )
+        assert result.n_first_stage + result.n_second_stage == counted.count
+        assert result.n_second_stage == 400
+
+    def test_extras_carry_chain_and_start(self):
+        result = gibbs_importance_sampling(
+            self.metric(), SPEC, n_gibbs=60, n_second_stage=300, rng=2,
+        )
+        assert result.extras["chain"].n_samples == 60
+        assert result.extras["starting_point"].norm > 0
+        assert isinstance(result.extras["proposal"], MultivariateNormal)
+
+    def test_reused_starting_point_not_recharged(self):
+        from repro.gibbs.starting_point import find_starting_point
+
+        counted = CountedMetric(self.metric(), 2)
+        start = find_starting_point(counted, SPEC, rng=3)
+        before = counted.count
+        result = gibbs_importance_sampling(
+            counted, SPEC, n_gibbs=50, n_second_stage=200, rng=3, start=start,
+        )
+        # Only chain + second stage counted in the result.
+        assert result.n_first_stage == counted.count - before - 200
+
+    def test_mixture_proposal_fit(self):
+        result = gibbs_importance_sampling(
+            self.metric(), SPEC, n_gibbs=150, n_second_stage=2000,
+            proposal_fit="mixture", mixture_components=2, rng=5,
+        )
+        assert isinstance(result.extras["proposal"], GaussianMixture)
+        exact = self.metric().exact_failure_probability
+        assert result.failure_probability == pytest.approx(exact, rel=0.4)
+
+    def test_qmc_second_stage(self):
+        metric = self.metric()
+        result = gibbs_importance_sampling(
+            metric, SPEC, n_gibbs=150, n_second_stage=2048,
+            qmc_second_stage=True, rng=7,
+        )
+        from repro.stats.qmc import QMCNormal
+
+        assert isinstance(result.extras["proposal"], QMCNormal)
+        assert result.failure_probability == pytest.approx(
+            metric.exact_failure_probability, rel=0.3
+        )
+
+    def test_qmc_incompatible_with_mixture(self):
+        with pytest.raises(ValueError, match="qmc_second_stage"):
+            gibbs_importance_sampling(
+                self.metric(), SPEC, n_gibbs=60, n_second_stage=300,
+                proposal_fit="mixture", qmc_second_stage=True, rng=8,
+            )
+
+    def test_store_samples(self):
+        result = gibbs_importance_sampling(
+            self.metric(), SPEC, n_gibbs=50, n_second_stage=300,
+            rng=6, store_samples=True,
+        )
+        assert result.extras["samples"].shape == (300, 2)

@@ -1,0 +1,150 @@
+"""Tests for the MC and IS estimators (repro.mc.montecarlo / importance)."""
+
+import numpy as np
+import pytest
+
+from repro.mc.counter import CountedMetric
+from repro.mc.importance import importance_sampling_estimate, importance_weights
+from repro.mc.indicator import FailureSpec
+from repro.mc.montecarlo import brute_force_monte_carlo
+from repro.stats.mvnormal import MultivariateNormal
+from repro.synthetic import LinearMetric, QuadrantMetric
+
+
+class TestBruteForce:
+    def test_quarter_plane_estimate(self, rng):
+        prob = QuadrantMetric(np.zeros(2)).problem()
+        result = brute_force_monte_carlo(prob.metric, prob.spec, 100_000, rng=rng)
+        assert result.failure_probability == pytest.approx(0.25, abs=0.01)
+        assert result.method == "MC"
+
+    def test_counts_simulations(self, rng):
+        metric = CountedMetric(QuadrantMetric(np.zeros(2)), 2)
+        brute_force_monte_carlo(metric, FailureSpec(0.0), 5000, rng=rng)
+        assert metric.count == 5000
+
+    def test_trace_counts_increase(self, rng):
+        prob = QuadrantMetric(np.zeros(2)).problem()
+        result = brute_force_monte_carlo(prob.metric, prob.spec, 20_000, rng=rng)
+        assert np.all(np.diff(result.trace.n_samples) > 0)
+        assert result.trace.n_samples[-1] <= 20_000
+
+    def test_trace_converges_toward_truth(self, rng):
+        prob = QuadrantMetric(np.zeros(2)).problem()
+        result = brute_force_monte_carlo(prob.metric, prob.spec, 50_000, rng=rng)
+        late = result.trace.estimate[-5:]
+        np.testing.assert_allclose(late, 0.25, atol=0.02)
+
+    def test_zero_failures_inf_error(self, rng):
+        metric = LinearMetric(np.array([1.0]), 30.0)  # essentially impossible
+        result = brute_force_monte_carlo(metric, FailureSpec(0.0), 1000, rng=rng)
+        assert result.failure_probability == 0.0
+        assert np.isinf(result.relative_error)
+
+    def test_invalid_n_raises(self, rng):
+        with pytest.raises(ValueError):
+            brute_force_monte_carlo(LinearMetric(np.ones(1), 1.0), FailureSpec(0.0), 0)
+
+    def test_chunking_invariance(self):
+        prob = QuadrantMetric(np.zeros(2)).problem()
+        a = brute_force_monte_carlo(
+            prob.metric, prob.spec, 10_000, rng=3, chunk_size=128
+        )
+        b = brute_force_monte_carlo(
+            prob.metric, prob.spec, 10_000, rng=3, chunk_size=10_000
+        )
+        assert a.failure_probability == b.failure_probability
+
+
+class TestImportanceWeights:
+    def test_zero_for_passing(self, rng):
+        x = rng.standard_normal((10, 2))
+        fail = np.zeros(10, dtype=bool)
+        w = importance_weights(x, fail, MultivariateNormal.standard(2),
+                               MultivariateNormal.standard(2))
+        np.testing.assert_array_equal(w, np.zeros(10))
+
+    def test_identity_proposal_unit_weights(self, rng):
+        x = rng.standard_normal((10, 2))
+        fail = np.ones(10, dtype=bool)
+        nominal = MultivariateNormal.standard(2)
+        w = importance_weights(x, fail, nominal, nominal)
+        np.testing.assert_allclose(w, np.ones(10))
+
+    def test_shifted_proposal_ratio(self):
+        nominal = MultivariateNormal.standard(1)
+        proposal = MultivariateNormal(np.array([2.0]), np.eye(1))
+        x = np.array([[2.0]])
+        w = importance_weights(x, np.array([True]), proposal, nominal)
+        expected = nominal.pdf(x)[0] / proposal.pdf(x)[0]
+        assert w[0] == pytest.approx(expected)
+
+
+class TestImportanceSamplingEstimate:
+    def test_unbiased_on_halfspace(self, rng):
+        """Mean-shifted proposal on a 4-sigma halfspace: the estimator must
+        recover the exact answer."""
+        metric = LinearMetric(np.array([1.0, 0.0]), 4.0)
+        proposal = MultivariateNormal(np.array([4.0, 0.0]), np.eye(2))
+        result = importance_sampling_estimate(
+            CountedMetric(metric, 2), FailureSpec(0.0), proposal, 20_000, rng=rng
+        )
+        assert result.failure_probability == pytest.approx(
+            metric.exact_failure_probability, rel=0.05
+        )
+
+    def test_accounting(self, rng):
+        metric = CountedMetric(LinearMetric(np.array([1.0, 0.0]), 3.0), 2)
+        result = importance_sampling_estimate(
+            metric, FailureSpec(0.0),
+            MultivariateNormal(np.array([3.0, 0.0]), np.eye(2)),
+            500, rng=rng, n_first_stage=123, method="demo",
+        )
+        assert result.method == "demo"
+        assert result.n_first_stage == 123
+        assert result.n_second_stage == 500
+        assert result.n_total == 623
+        assert metric.count == 500
+
+    def test_store_samples(self, rng):
+        metric = LinearMetric(np.array([1.0, 0.0]), 3.0)
+        result = importance_sampling_estimate(
+            CountedMetric(metric, 2), FailureSpec(0.0),
+            MultivariateNormal(np.array([3.0, 0.0]), np.eye(2)),
+            300, rng=rng, store_samples=True,
+        )
+        assert result.extras["samples"].shape == (300, 2)
+        assert result.extras["failed"].shape == (300,)
+        assert result.extras["n_failures"] == int(result.extras["failed"].sum())
+
+    def test_trace_attached(self, rng):
+        metric = LinearMetric(np.array([1.0]), 2.0)
+        result = importance_sampling_estimate(
+            CountedMetric(metric, 1), FailureSpec(0.0),
+            MultivariateNormal(np.array([2.0]), np.eye(1)),
+            400, rng=rng,
+        )
+        assert result.trace is not None
+        assert result.trace.n_samples[-1] <= 400
+
+    def test_invalid_n_raises(self, rng):
+        with pytest.raises(ValueError):
+            importance_sampling_estimate(
+                CountedMetric(LinearMetric(np.ones(1), 1.0), 1),
+                FailureSpec(0.0), MultivariateNormal.standard(1), 1, rng=rng,
+            )
+
+    def test_perfect_proposal_near_zero_error(self, rng):
+        """Sampling close to g_opt: truncated-like proposal concentrated in
+        the failure region gives tiny relative error (the Section II
+        argument for why the optimal PDF matters)."""
+        metric = LinearMetric(np.array([1.0]), 3.0)
+        good = MultivariateNormal(np.array([3.6]), 0.3 * np.eye(1))
+        bad = MultivariateNormal(np.array([0.0]), np.eye(1))
+        r_good = importance_sampling_estimate(
+            CountedMetric(metric, 1), FailureSpec(0.0), good, 2000, rng=rng
+        )
+        r_bad = importance_sampling_estimate(
+            CountedMetric(metric, 1), FailureSpec(0.0), bad, 2000, rng=rng
+        )
+        assert r_good.relative_error < r_bad.relative_error

@@ -1,0 +1,157 @@
+"""Tests for the MC framework: indicator, counter, results (repro.mc)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mc.counter import CountedMetric
+from repro.mc.indicator import FailureSpec
+from repro.mc.results import ConvergenceTrace, EstimationResult
+from repro.stats.confidence import Z_99
+
+
+class TestFailureSpec:
+    def test_fail_below(self):
+        spec = FailureSpec(0.1)
+        np.testing.assert_array_equal(
+            spec.indicator(np.array([0.05, 0.1, 0.2])), [True, False, False]
+        )
+
+    def test_fail_above(self):
+        spec = FailureSpec(1.0, fail_below=False)
+        np.testing.assert_array_equal(
+            spec.indicator(np.array([0.5, 1.5])), [False, True]
+        )
+
+    def test_margin_sign_convention(self):
+        spec = FailureSpec(0.1)
+        assert spec.margin(np.array([0.2]))[0] > 0   # pass
+        assert spec.margin(np.array([0.05]))[0] < 0  # fail
+
+    def test_margin_fail_above(self):
+        spec = FailureSpec(2.0, fail_below=False)
+        assert spec.margin(np.array([1.0]))[0] > 0
+        assert spec.margin(np.array([3.0]))[0] < 0
+
+    def test_margin_zero_at_threshold(self):
+        spec = FailureSpec(0.42)
+        assert spec.margin(np.array([0.42]))[0] == 0.0
+
+    def test_str(self):
+        assert "<" in str(FailureSpec(1.0))
+        assert ">" in str(FailureSpec(1.0, fail_below=False))
+
+
+class TestCountedMetric:
+    def metric(self):
+        def f(x):
+            return x.sum(axis=1)
+
+        return CountedMetric(f, dimension=3)
+
+    def test_counts_rows(self):
+        m = self.metric()
+        m(np.zeros((5, 3)))
+        m(np.zeros((2, 3)))
+        assert m.count == 7
+
+    def test_single_point_counts_one(self):
+        m = self.metric()
+        m(np.zeros(3))
+        assert m.count == 1
+
+    def test_checkpoint_and_reset(self):
+        m = self.metric()
+        m(np.zeros((4, 3)))
+        assert m.checkpoint() == 4
+        m.reset()
+        assert m.count == 0
+
+    def test_values_passthrough(self):
+        m = self.metric()
+        out = m(np.ones((2, 3)))
+        np.testing.assert_array_equal(out, [3.0, 3.0])
+
+    def test_dimension_from_metric_attribute(self):
+        class WithDim:
+            dimension = 4
+
+            def __call__(self, x):
+                return x[:, 0]
+
+        m = CountedMetric(WithDim())
+        assert m.dimension == 4
+
+    def test_missing_dimension_raises(self):
+        with pytest.raises(ValueError, match="dimension"):
+            CountedMetric(lambda x: x[:, 0])
+
+    def test_repr(self):
+        assert "simulations" in repr(self.metric())
+
+
+class TestConvergenceTrace:
+    def test_from_weights_running_mean(self):
+        w = np.array([0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0])
+        trace = ConvergenceTrace.from_weights(w, n_points=8)
+        # Final recorded estimate approaches the true mean 0.5.
+        assert trace.estimate[-1] == pytest.approx(np.mean(w[: trace.n_samples[-1]]))
+
+    def test_relative_error_definition(self, rng):
+        w = rng.exponential(size=500)
+        trace = ConvergenceTrace.from_weights(w, n_points=500)
+        n = trace.n_samples[-1]
+        sub = w[:n]
+        expected = Z_99 * sub.std(ddof=1) / math.sqrt(n) / sub.mean()
+        assert trace.relative_error[-1] == pytest.approx(expected, rel=1e-9)
+
+    def test_error_inf_before_first_failure(self):
+        w = np.concatenate([np.zeros(50), np.ones(50)])
+        trace = ConvergenceTrace.from_weights(w, n_points=100)
+        early = trace.n_samples < 50
+        assert np.all(np.isinf(trace.relative_error[early]))
+
+    def test_too_few_weights_raises(self):
+        with pytest.raises(ValueError):
+            ConvergenceTrace.from_weights(np.array([1.0]))
+
+    def test_samples_to_error_requires_staying_below(self):
+        trace = ConvergenceTrace(
+            n_samples=np.array([10, 20, 30, 40]),
+            estimate=np.ones(4),
+            relative_error=np.array([0.04, 0.90, 0.04, 0.03]),
+        )
+        # The dip at n=10 does not count: error rises above target later.
+        assert trace.samples_to_error(0.05) == 30
+
+    def test_samples_to_error_never_reached(self):
+        trace = ConvergenceTrace(
+            n_samples=np.array([10, 20]),
+            estimate=np.ones(2),
+            relative_error=np.array([0.5, 0.4]),
+        )
+        assert trace.samples_to_error(0.05) is None
+
+
+class TestEstimationResult:
+    def make(self):
+        return EstimationResult(
+            method="X",
+            failure_probability=1e-5,
+            relative_error=0.05,
+            n_first_stage=100,
+            n_second_stage=900,
+        )
+
+    def test_total(self):
+        assert self.make().n_total == 1000
+
+    def test_summary_contains_fields(self):
+        s = self.make().summary()
+        assert "X" in s and "1.000e-05" in s and "5.00%" in s
+
+    def test_summary_with_inf_error(self):
+        r = self.make()
+        r.relative_error = math.inf
+        assert "inf" in r.summary()

@@ -1,0 +1,108 @@
+"""Tests for DOE plans and response surfaces (repro.modeling)."""
+
+import numpy as np
+import pytest
+
+from repro.modeling.doe import axial_doe, composite_doe
+from repro.modeling.surrogate import LinearSurrogate, QuadraticSurrogate
+
+
+class TestAxialDoe:
+    def test_shape(self):
+        plan = axial_doe(4, levels=(2.0, 4.0))
+        assert plan.shape == (1 + 2 * 2 * 4, 4)
+
+    def test_centre_first(self):
+        plan = axial_doe(3)
+        np.testing.assert_array_equal(plan[0], np.zeros(3))
+
+    def test_axial_points_on_axes(self):
+        plan = axial_doe(3, levels=(2.0,))
+        for row in plan[1:]:
+            assert np.count_nonzero(row) == 1
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            axial_doe(0)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            axial_doe(2, levels=(-1.0,))
+
+
+class TestCompositeDoe:
+    def test_pads_to_total(self, rng):
+        plan = composite_doe(3, 40, rng)
+        assert plan.shape == (40, 3)
+
+    def test_too_small_total_raises(self, rng):
+        with pytest.raises(ValueError, match="smaller than the axial plan"):
+            composite_doe(6, 10, rng)
+
+    def test_deterministic_with_seed(self):
+        a = composite_doe(3, 30, 7)
+        b = composite_doe(3, 30, 7)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestLinearSurrogate:
+    def test_exact_on_linear_function(self, rng):
+        g = np.array([1.0, -2.0, 0.5])
+        x = rng.standard_normal((30, 3))
+        y = 3.0 + x @ g
+        fit = LinearSurrogate.fit(x, y)
+        assert fit.intercept == pytest.approx(3.0, abs=1e-9)
+        np.testing.assert_allclose(fit.gradient_vector, g, atol=1e-9)
+
+    def test_gradient_constant(self, rng):
+        fit = LinearSurrogate(1.0, np.array([2.0, 3.0]))
+        grads = fit.gradient(rng.standard_normal((5, 2)))
+        np.testing.assert_array_equal(grads, np.tile([2.0, 3.0], (5, 1)))
+
+    def test_underdetermined_raises(self):
+        with pytest.raises(ValueError, match="at least"):
+            LinearSurrogate.fit(np.zeros((2, 3)), np.zeros(2))
+
+
+class TestQuadraticSurrogate:
+    def test_n_parameters(self):
+        assert QuadraticSurrogate.n_parameters(6) == 28
+        assert QuadraticSurrogate.n_parameters(2) == 6
+
+    def test_exact_on_quadratic_function(self, rng):
+        m = 4
+        h = rng.standard_normal((m, m))
+        h = h + h.T
+        g = rng.standard_normal(m)
+        x = rng.standard_normal((60, m))
+        y = 1.5 + x @ g + 0.5 * np.einsum("ni,ij,nj->n", x, h, x)
+        fit = QuadraticSurrogate.fit(x, y)
+        x_test = rng.standard_normal((10, m))
+        y_test = 1.5 + x_test @ g + 0.5 * np.einsum("ni,ij,nj->n", x_test, h, x_test)
+        np.testing.assert_allclose(fit.predict(x_test), y_test, atol=1e-8)
+        np.testing.assert_allclose(fit.hessian, h, atol=1e-8)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        m = 3
+        x = rng.standard_normal((30, m))
+        y = x[:, 0] ** 2 - x[:, 1] * x[:, 2] + x[:, 0]
+        fit = QuadraticSurrogate.fit(x, y)
+        point = rng.standard_normal((1, m))
+        analytic = fit.gradient(point)[0]
+        h = 1e-6
+        numeric = np.array(
+            [
+                (fit.predict(point + h * np.eye(m)[i]) - fit.predict(point - h * np.eye(m)[i]))[0]
+                / (2 * h)
+                for i in range(m)
+            ]
+        )
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_underdetermined_raises(self):
+        with pytest.raises(ValueError, match="at least"):
+            QuadraticSurrogate.fit(np.zeros((5, 4)), np.zeros(5))
+
+    def test_hessian_symmetrised(self):
+        fit = QuadraticSurrogate(0.0, np.zeros(2), np.array([[1.0, 2.0], [0.0, 1.0]]))
+        np.testing.assert_array_equal(fit.hessian, fit.hessian.T)

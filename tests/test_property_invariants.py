@@ -1,0 +1,88 @@
+"""Cross-cutting property-based invariants (hypothesis).
+
+Invariants that tie modules together, complementing the per-module tests:
+spec/indicator consistency, weight non-negativity, spherical-mapping
+geometry, and estimator scale-equivariance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gibbs.coordinates import spherical_to_cartesian
+from repro.mc.importance import importance_weights
+from repro.mc.indicator import FailureSpec
+from repro.stats.mvnormal import MultivariateNormal
+
+finite_floats = st.floats(-50.0, 50.0)
+
+
+class TestSpecInvariants:
+    @given(
+        st.floats(-5.0, 5.0),
+        st.booleans(),
+        hnp.arrays(np.float64, st.integers(1, 20), elements=finite_floats),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_indicator_iff_negative_margin(self, threshold, fail_below, values):
+        spec = FailureSpec(threshold, fail_below=fail_below)
+        indicator = spec.indicator(values)
+        margin = spec.margin(values)
+        np.testing.assert_array_equal(indicator, margin < 0)
+
+    @given(st.floats(-5.0, 5.0), st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_margin_antisymmetric_under_direction_flip(self, threshold, fail_below):
+        values = np.linspace(threshold - 2, threshold + 2, 11)
+        a = FailureSpec(threshold, fail_below=fail_below).margin(values)
+        b = FailureSpec(threshold, fail_below=not fail_below).margin(values)
+        np.testing.assert_allclose(a, -b)
+
+
+class TestWeightInvariants:
+    @given(st.integers(1, 6), st.integers(2, 40), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_weights_nonnegative_and_zero_iff_passing(self, dim, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, dim))
+        fail = rng.uniform(size=n) < 0.5
+        nominal = MultivariateNormal.standard(dim)
+        proposal = MultivariateNormal(rng.standard_normal(dim), np.eye(dim))
+        w = importance_weights(x, fail, proposal, nominal)
+        assert np.all(w >= 0)
+        np.testing.assert_array_equal(w == 0, ~fail)
+
+
+class TestSphericalInvariants:
+    @given(
+        st.integers(2, 10),
+        st.floats(0.1, 10.0),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_radius_and_direction(self, dim, radius, seed):
+        rng = np.random.default_rng(seed)
+        alpha = rng.standard_normal(dim)
+        x = spherical_to_cartesian(radius, alpha)[0]
+        assert np.linalg.norm(x) == pytest.approx(radius, rel=1e-9)
+        cos = x @ alpha / (np.linalg.norm(x) * np.linalg.norm(alpha))
+        assert cos == pytest.approx(1.0, abs=1e-9)
+
+
+class TestEstimatorEquivariance:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_importance_estimate_invariant_to_weight_bookkeeping(self, seed):
+        """mean(w) must equal (sum over failing) / n regardless of how many
+        passing samples interleave."""
+        rng = np.random.default_rng(seed)
+        n = 500
+        x = rng.standard_normal((n, 2)) + np.array([3.0, 0.0])
+        fail = x[:, 0] > 3.0
+        nominal = MultivariateNormal.standard(2)
+        proposal = MultivariateNormal(np.array([3.0, 0.0]), np.eye(2))
+        w = importance_weights(x, fail, proposal, nominal)
+        direct = w[fail].sum() / n
+        assert w.mean() == pytest.approx(direct, rel=1e-12)

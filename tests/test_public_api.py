@@ -1,0 +1,48 @@
+"""Tests for the package's public API surface (repro.__init__)."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points_present(self):
+        for name in (
+            "gibbs_importance_sampling",
+            "read_noise_margin_problem",
+            "write_noise_margin_problem",
+            "read_current_problem",
+            "write_time_problem",
+            "brute_force_monte_carlo",
+            "mixture_importance_sampling",
+            "minimum_norm_importance_sampling",
+            "FailureSpec",
+            "CountedMetric",
+        ):
+            assert name in repro.__all__
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.devices", "repro.circuit", "repro.sram", "repro.stats",
+            "repro.mc", "repro.modeling", "repro.gibbs", "repro.baselines",
+            "repro.synthetic", "repro.analysis", "repro.utils", "repro.cli",
+        ):
+            importlib.import_module(module)
+
+    def test_docstring_quickstart_runs(self):
+        """The module docstring's quickstart must reflect real API names."""
+        doc = repro.__doc__
+        assert "read_noise_margin_problem" in doc
+        assert "gibbs_importance_sampling" in doc
+
+    def test_methods_tuple(self):
+        assert repro.METHODS == ("MIS", "MNIS", "G-C", "G-S")

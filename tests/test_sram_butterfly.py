@@ -1,0 +1,146 @@
+"""Tests for butterfly-curve margin extraction (repro.sram.butterfly).
+
+The key validation uses *synthetic piecewise-linear curves* whose largest
+inscribed square is known geometrically, independent of any circuit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sram.butterfly import (
+    line_family_sides,
+    lobe_margins,
+    write_margin,
+)
+
+
+def ideal_inverter_curve(grid, v_high, v_low, trip, gain=20.0):
+    """A steep, strictly decreasing tanh-style VTC."""
+    return v_low + (v_high - v_low) * 0.5 * (1 - np.tanh(gain * (grid - trip)))
+
+
+class TestLineFamilySides:
+    def test_symmetric_butterfly_t_antisymmetric(self):
+        grid = np.linspace(0, 1.2, 201)
+        curve = ideal_inverter_curve(grid, 1.2, 0.0, 0.6)
+        c = np.linspace(-0.9, 0.9, 19)
+        t = line_family_sides(grid, curve, curve, c)
+        # Same curve for both halves: t(c) = -t(-c) by mirror symmetry.
+        np.testing.assert_allclose(t, -t[::-1], atol=1e-6)
+
+    def test_t_zero_at_intersections(self):
+        grid = np.linspace(0, 1.2, 401)
+        curve = ideal_inverter_curve(grid, 1.2, 0.0, 0.6)
+        t = line_family_sides(grid, curve, curve, np.array([0.0]))
+        assert abs(t[0]) < 1e-6
+
+    def test_batched_curves(self):
+        grid = np.linspace(0, 1.2, 101)
+        base = ideal_inverter_curve(grid, 1.2, 0.0, 0.6)
+        curves = np.stack([base, base * 0.9 + 0.05], axis=1)
+        c = np.linspace(-0.5, 0.5, 7)
+        t = line_family_sides(grid, curves, curves, c)
+        assert t.shape == (7, 2)
+
+
+class TestLobeMargins:
+    def test_square_size_of_ideal_butterfly(self):
+        """For two ideal (step-like) inverters with rails [0, 1.2], right
+        trip at 0.4 and left trip at 0.8, the lobes are rectangles
+        [0, 0.4] x [0.8, 1.2] and [0.4, 1.2] x [0, 0.8], whose largest
+        inscribed squares have sides 0.4 and 0.8 — classical geometry with
+        a known exact answer."""
+        grid = np.linspace(0, 1.2, 801)
+        right = ideal_inverter_curve(grid, 1.2, 0.0, 0.4, gain=400.0)
+        left = ideal_inverter_curve(grid, 1.2, 0.0, 0.8, gain=400.0)
+        pos, neg = lobe_margins(grid, left, right)
+        assert pos == pytest.approx(0.4, abs=0.02)
+        assert neg == pytest.approx(0.8, abs=0.02)
+
+    def test_symmetric_cell_equal_lobes(self):
+        grid = np.linspace(0, 1.2, 201)
+        curve = ideal_inverter_curve(grid, 1.2, 0.1, 0.6)
+        pos, neg = lobe_margins(grid, curve, curve)
+        assert pos == pytest.approx(neg, abs=1e-6)
+        assert pos > 0.2
+
+    def test_collapsed_lobe_negative_margin(self):
+        """When one curve sits entirely above the other (monostable), the
+        lost lobe's margin must go negative, not clamp at zero."""
+        grid = np.linspace(0, 1.2, 201)
+        right = ideal_inverter_curve(grid, 1.2, 0.0, 0.3)
+        # Left curve shifted so its output never goes low enough to cross:
+        left = ideal_inverter_curve(grid, 1.2, 0.9, 0.9)
+        pos, neg = lobe_margins(grid, left, right)
+        assert (pos < 0) or (neg < 0)
+
+    def test_even_n_lines_rejected(self):
+        grid = np.linspace(0, 1.2, 51)
+        curve = ideal_inverter_curve(grid, 1.2, 0.0, 0.6)
+        with pytest.raises(ValueError, match="odd"):
+            lobe_margins(grid, curve, curve, n_lines=20)
+
+    def test_margin_monotone_in_lobe_size(self):
+        """Growing the upper-left lobe (right trip higher, left trip lower)
+        must grow the c > 0 margin."""
+        grid = np.linspace(0, 1.2, 401)
+        margins = []
+        for sep in (0.05, 0.15, 0.25):
+            right = ideal_inverter_curve(grid, 1.2, 0.0, 0.6 + sep, gain=50.0)
+            left = ideal_inverter_curve(grid, 1.2, 0.0, 0.6 - sep, gain=50.0)
+            pos, _ = lobe_margins(grid, left, right)
+            margins.append(pos)
+        assert margins[0] < margins[1] < margins[2]
+
+    def test_batch_shape(self):
+        grid = np.linspace(0, 1.2, 101)
+        base = ideal_inverter_curve(grid, 1.2, 0.0, 0.6)
+        curves = np.repeat(base[:, np.newaxis], 4, axis=1)
+        pos, neg = lobe_margins(grid, curves, curves)
+        assert pos.shape == (4,) and neg.shape == (4,)
+
+
+class TestWriteMargin:
+    def grid(self):
+        return np.linspace(0, 1.2, 201)
+
+    def test_writable_cell_positive(self):
+        grid = self.grid()
+        read_curve = ideal_inverter_curve(grid, 1.2, 0.2, 0.6)
+        # Write-driven curve: collapses to a sliver near x = 0.
+        write_curve = 0.08 * np.exp(-3 * grid)
+        wm = write_margin(grid, write_curve, read_curve)
+        assert wm > 0.1
+
+    def test_unwritable_cell_negative(self):
+        grid = self.grid()
+        read_curve = ideal_inverter_curve(grid, 1.2, 0.2, 0.3, gain=30.0)
+        # Write curve extends far right at low y: retention lobe survives.
+        write_curve = np.maximum(1.0 - 2.0 * grid, 0.0)
+        wm = write_margin(grid, write_curve, read_curve)
+        assert wm < 0
+
+    def test_margin_decreases_with_stronger_retention(self):
+        grid = self.grid()
+        read_curve = ideal_inverter_curve(grid, 1.2, 0.2, 0.6)
+        margins = []
+        for reach in (0.05, 0.3, 0.6):
+            write_curve = np.maximum(reach * (1.0 - grid / 0.8), 0.0)
+            margins.append(write_margin(grid, write_curve, read_curve))
+        assert margins[0] > margins[1] > margins[2]
+
+    def test_cap_leaves_points(self):
+        grid = self.grid()
+        with pytest.raises(ValueError, match="no write-curve points"):
+            write_margin(grid, grid * 0, grid * 0, y_cap_fraction=-1.0)
+
+    def test_batched(self):
+        grid = self.grid()
+        read_curve = ideal_inverter_curve(grid, 1.2, 0.2, 0.6)
+        write_curves = np.stack(
+            [0.05 * np.exp(-3 * grid), 0.5 * np.exp(-1 * grid)], axis=1
+        )
+        reads = np.repeat(read_curve[:, np.newaxis], 2, axis=1)
+        wm = write_margin(grid, write_curves, reads)
+        assert wm.shape == (2,)
+        assert wm[0] > wm[1]  # shorter write sliver = bigger eye

@@ -1,0 +1,179 @@
+"""Tests for the 6-T cell and its batched analyses (repro.sram.cell)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import solve_dc
+from repro.devices.technology import DeviceGeometry
+from repro.sram.cell import DEVICE_NAMES, PAPER_INDEX, SixTransistorCell
+
+
+class TestConstruction:
+    def test_device_names_paper_order(self):
+        assert DEVICE_NAMES == ("pd_l", "pd_r", "ax_l", "ax_r", "pu_l", "pu_r")
+        assert PAPER_INDEX["M1"] == 0 and PAPER_INDEX["M3"] == 2 and PAPER_INDEX["M5"] == 4
+
+    def test_sigma_per_device(self, cell):
+        assert cell.sigma_vth["pu_l"] > cell.sigma_vth["ax_l"] > cell.sigma_vth["pd_l"]
+
+    def test_geometry_override(self):
+        c = SixTransistorCell(geometries={"access": DeviceGeometry(0.4, 0.1)})
+        assert c.geometries["access"].width == pytest.approx(0.4)
+
+    def test_unknown_geometry_role_raises(self):
+        with pytest.raises(KeyError, match="unknown geometry roles"):
+            SixTransistorCell(geometries={"nonsense": DeviceGeometry(0.1, 0.1)})
+
+    def test_repr(self, cell):
+        assert "SixTransistorCell" in repr(cell)
+
+
+class TestHalfCellVtc:
+    def test_monotone_decreasing(self, cell):
+        grid = np.linspace(0, 1.2, 41)
+        vtc = cell.half_cell_vtc("left", grid, bl_voltage=1.2)
+        assert vtc.shape == (41,)
+        assert np.all(np.diff(vtc) < 1e-9)
+
+    def test_read_low_level_raised_by_access(self, cell):
+        """During read the access transistor pulls the low node up — the
+        classic read-disturb mechanism."""
+        grid = np.array([1.2])
+        v_read = cell.half_cell_vtc("left", grid, bl_voltage=1.2)[0]
+        v_hold = cell.half_cell_vtc("left", grid, bl_voltage=1.2, wl_voltage=0.0)[0]
+        assert v_read > v_hold + 0.05
+        assert v_hold < 0.02
+
+    def test_write_config_collapses_high_level(self, cell):
+        grid = np.array([0.0])
+        v_read = cell.half_cell_vtc("left", grid, bl_voltage=1.2)[0]
+        v_write = cell.half_cell_vtc("left", grid, bl_voltage=0.0)[0]
+        assert v_read > 1.1      # read config: output high ~ vdd
+        assert v_write < 0.3     # write config: bitline wins
+
+    def test_batched_mismatch(self, cell):
+        grid = np.linspace(0, 1.2, 21)
+        dv = {"pd_l": np.array([-0.05, 0.0, 0.05])}
+        vtc = cell.half_cell_vtc("left", grid, 1.2, dv)
+        assert vtc.shape == (21, 3)
+        # Weaker pull-down (higher vth) -> higher low level at full input.
+        assert vtc[-1, 2] > vtc[-1, 0]
+
+    def test_sides_symmetric_nominal(self, cell):
+        grid = np.linspace(0, 1.2, 21)
+        left = cell.half_cell_vtc("left", grid, 1.2)
+        right = cell.half_cell_vtc("right", grid, 1.2)
+        np.testing.assert_allclose(left, right, atol=1e-9)
+
+    def test_invalid_side_raises(self, cell):
+        with pytest.raises(ValueError, match="side"):
+            cell.half_cell_vtc("top", np.linspace(0, 1, 5), 1.2)
+
+    def test_2d_grid_raises(self, cell):
+        with pytest.raises(ValueError, match="1-D"):
+            cell.half_cell_vtc("left", np.zeros((2, 2)), 1.2)
+
+    def test_kcl_residual_zero_at_solution(self, cell):
+        grid = np.linspace(0, 1.2, 11)
+        vtc = cell.half_cell_vtc("left", grid, 1.2)
+        residual = cell._half_cell_residual(
+            "left", grid, 1.2, 1.2, {}
+        )
+        f, _ = residual(vtc)
+        assert np.max(np.abs(f)) < 1e-10
+
+
+class TestBatchIndependence:
+    """Regression: results must not depend on batch composition.
+
+    An early version of the monotone node solver could hurl an
+    already-converged lane to the midpoint of a stale bracket when slower
+    batch-mates kept the iteration alive — every batched analysis silently
+    depended on its companions (caught via importance-sampling weight
+    explosions on the write-margin metric).
+    """
+
+    def test_vtc_alone_equals_in_mixed_batch(self, cell, rng):
+        grid = np.linspace(0, 1.2, 41)
+        # A benign sample paired with an extreme one that converges slowly.
+        benign = {name: 0.02 for name in DEVICE_NAMES}
+        mixed = {
+            name: np.array([0.02, 0.35 if name == "pd_l" else -0.25])
+            for name in DEVICE_NAMES
+        }
+        alone = cell.half_cell_vtc(
+            "left", grid, 0.0, {k: np.array([v]) for k, v in benign.items()}
+        )
+        paired = cell.half_cell_vtc("left", grid, 0.0, mixed)
+        np.testing.assert_allclose(paired[:, 0], alone[:, 0], atol=1e-9)
+
+    def test_metric_chunk_vs_single(self, wnm_metric, rng):
+        x = rng.uniform(-5, 5, (64, 6))
+        chunked = wnm_metric(x)
+        singles = np.concatenate([wnm_metric(x[i : i + 1]) for i in range(64)])
+        np.testing.assert_allclose(chunked, singles, atol=1e-9)
+
+
+class TestReadState:
+    def test_nominal_holds_stored_zero(self, cell):
+        vq, vqb = cell.solve_read_state()
+        assert float(vq) < 0.45
+        assert float(vqb) > 1.1
+
+    def test_stored_one_mirrors(self, cell):
+        vq, vqb = cell.solve_read_state(stored_zero_at_q=False)
+        assert float(vq) > 1.1
+        assert float(vqb) < 0.45
+
+    def test_batched(self, cell):
+        dv = {"pd_l": np.linspace(-0.05, 0.05, 5)}
+        vq, vqb = cell.solve_read_state(dv)
+        assert vq.shape == (5,)
+        # Weaker pull-down lets the access raise the low node further.
+        assert np.all(np.diff(vq) > 0)
+
+    def test_extreme_mismatch_flips_cell(self, skewed_cell):
+        """Large (weak pull-down, strong access) mismatch must upset the
+        read: the solver lands on the flipped state."""
+        dv = {"pd_l": np.array([0.0, 0.5]), "ax_l": np.array([0.0, -0.4])}
+        vq, _ = skewed_cell.solve_read_state(dv)
+        assert vq[0] < 0.5          # nominal holds
+        assert vq[1] > 0.8          # upset: q node flipped high
+
+    def test_matches_general_netlist_solver(self, cell):
+        """Cross-validation: the specialised read solver must agree with the
+        general MNA solver on the full-cell netlist."""
+        circuit = cell.build_circuit()
+        dv = {"pd_l": 0.03, "ax_l": -0.02}
+        sol = solve_dc(
+            circuit,
+            {"vdd": 1.2, "wl": 1.2, "bl": 1.2, "blb": 1.2},
+            element_params={k: {"delta_vth": v} for k, v in dv.items()},
+            initial={"q": 0.05, "qb": 1.2},
+        )
+        vq, vqb = cell.solve_read_state(dv)
+        assert float(sol.voltage("q")) == pytest.approx(float(vq), abs=1e-6)
+        assert float(sol.voltage("qb")) == pytest.approx(float(vqb), abs=1e-6)
+
+
+class TestReadCurrent:
+    def test_nominal_positive(self, cell):
+        i = cell.read_current()
+        assert float(i) > 1e-5
+
+    def test_weaker_access_less_current(self, cell):
+        dv = {"ax_l": np.array([0.0, 0.1])}
+        i = cell.read_current(dv)
+        assert i[1] < i[0]
+
+    def test_flip_collapses_current(self, skewed_cell):
+        dv = {"pd_l": np.array([0.0, 0.6]), "ax_l": np.array([0.0, -0.4])}
+        i = skewed_cell.read_current(dv)
+        assert i[0] > 1e-5
+        assert i[1] < 1e-6
+
+    def test_deterministic(self, cell):
+        dv = {"pd_l": np.array([0.02]), "ax_l": np.array([-0.01])}
+        a = cell.read_current(dv)
+        b = cell.read_current(dv)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,64 @@
+"""Tests for global process corners (repro.sram.corners)."""
+
+import numpy as np
+import pytest
+
+from repro.sram.corners import CORNERS, corner_cell, corner_technology
+from repro.sram.metrics import ReadCurrentMetric
+
+
+class TestCornerTechnology:
+    def test_tt_is_nominal(self):
+        tech = corner_technology("TT")
+        from repro.devices.technology import default_technology
+
+        assert tech.vth_n == default_technology().vth_n
+        assert tech.vth_p == default_technology().vth_p
+
+    def test_ss_raises_both_thresholds(self):
+        tech = corner_technology("SS", sigma_global=0.04)
+        assert tech.vth_n == pytest.approx(0.39)
+        assert tech.vth_p == pytest.approx(0.39)
+
+    def test_fs_is_skewed(self):
+        tech = corner_technology("FS", sigma_global=0.04)
+        assert tech.vth_n < tech.vth_p
+
+    def test_case_insensitive(self):
+        assert corner_technology("ff").vth_n < corner_technology("TT").vth_n
+
+    def test_unknown_corner_raises(self):
+        with pytest.raises(ValueError, match="unknown corner"):
+            corner_technology("XY")
+
+    def test_negative_sigma_raises(self):
+        with pytest.raises(ValueError):
+            corner_technology("TT", sigma_global=-0.01)
+
+    def test_all_five_corners_defined(self):
+        assert set(CORNERS) == {"TT", "FF", "SS", "FS", "SF"}
+
+
+class TestCornerPhysics:
+    def test_read_current_fastest_at_ff(self):
+        """Faster (lower-Vth) devices drive more read current: FF > TT > SS."""
+        x0 = np.zeros((1, 2))
+        currents = {
+            c: ReadCurrentMetric(corner_cell(c))(x0)[0] for c in ("FF", "TT", "SS")
+        }
+        assert currents["FF"] > currents["TT"] > currents["SS"]
+
+    def test_write_slowest_at_sf(self):
+        """SF (slow NMOS access, fast/strong PMOS pull-up) is the classic
+        write-ability worst case — cleanest to see on the dynamic flip
+        time, which is definition-free."""
+        times = {
+            c: float(corner_cell(c).write_flip_time())
+            for c in ("TT", "SF", "FS")
+        }
+        assert times["SF"] > times["TT"] > times["FS"]
+
+    def test_local_mismatch_sigmas_unchanged(self):
+        from repro.sram import SixTransistorCell
+
+        assert corner_cell("SS").sigma_vth == SixTransistorCell().sigma_vth

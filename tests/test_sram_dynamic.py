@@ -1,0 +1,116 @@
+"""Tests for the dynamic write-time metric (repro.sram.dynamic)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, simulate_transient, step_waveform
+from repro.sram.dynamic import WriteTimeMetric
+from repro.sram.problems import write_time_problem
+
+
+class TestWriteFlipTime:
+    def test_nominal_in_expected_band(self, cell):
+        t = cell.write_flip_time()
+        assert 5e-12 < float(t) < 5e-11
+
+    def test_weak_access_slows_write(self, cell):
+        dv = {"ax_l": np.array([0.0, 0.15])}
+        t = cell.write_flip_time(dv)
+        assert t[1] > t[0]
+
+    def test_strong_pullup_slows_write(self, cell):
+        dv = {"pu_l": np.array([0.0, -0.15])}
+        t = cell.write_flip_time(dv)
+        assert t[1] > t[0]
+
+    def test_hard_failure_saturates_at_window(self, cell):
+        dv = {"ax_l": np.array([0.9]), "pu_l": np.array([-0.9])}
+        t = cell.write_flip_time(dv, t_window=100e-12)
+        assert t[0] == pytest.approx(100e-12)
+
+    def test_invalid_parameters_raise(self, cell):
+        with pytest.raises(ValueError):
+            cell.write_flip_time(dt=-1.0)
+        with pytest.raises(ValueError):
+            cell.write_flip_time(node_capacitance=0.0)
+
+    def test_batch_matches_singles(self, cell, rng):
+        x = rng.standard_normal((16, 6)) * 0.03
+        deltas = {
+            name: x[:, i]
+            for i, name in enumerate(
+                ("pd_l", "pd_r", "ax_l", "ax_r", "pu_l", "pu_r")
+            )
+        }
+        batch = cell.write_flip_time(deltas)
+        singles = np.array([
+            cell.write_flip_time({k: v[i : i + 1] for k, v in deltas.items()})[0]
+            for i in range(16)
+        ])
+        np.testing.assert_allclose(batch, singles, rtol=1e-9)
+
+    def test_matches_generic_transient_engine(self, cell):
+        """Cross-validate the fast path against the netlist transient
+        engine, with the access device stamped in the same (drain = q)
+        orientation the fast path uses."""
+        vdd = cell.vdd
+        c = Circuit("write_tb")
+        params = {n: cell.devices[n].params for n in cell.devices}
+        c.add_mosfet("pd_l", params["pd_l"], drain="q", gate="qb", source="0")
+        c.add_mosfet("pu_l", params["pu_l"], drain="q", gate="qb", source="vdd", bulk="vdd")
+        c.add_mosfet("ax_l", params["ax_l"], drain="q", gate="wl", source="bl")
+        c.add_mosfet("pd_r", params["pd_r"], drain="qb", gate="q", source="0")
+        c.add_mosfet("pu_r", params["pu_r"], drain="qb", gate="q", source="vdd", bulk="vdd")
+        c.add_mosfet("ax_r", params["ax_r"], drain="blb", gate="wl", source="qb")
+        dv = {"pd_l": 0.02, "ax_l": -0.03, "pu_r": 0.04}
+        res = simulate_transient(
+            c,
+            sources={"vdd": vdd, "wl": step_waveform(1e-15, 0.0, vdd),
+                     "bl": 0.0, "blb": vdd},
+            capacitances={"q": 5e-15, "qb": 5e-15},
+            t_stop=150e-12,
+            dt=1e-12,
+            element_params={k: {"delta_vth": v} for k, v in dv.items()},
+            initial={"q": vdd, "qb": 0.0},
+        )
+        t_generic = res.crossing_time("q", 0.5 * vdd, rising=False)
+        t_fast = cell.write_flip_time(
+            {k: np.array([v]) for k, v in dv.items()}
+        )
+        assert t_fast[0] == pytest.approx(float(np.asarray(t_generic)), rel=0.05)
+
+
+class TestWriteTimeMetric:
+    def test_interface(self, cell):
+        metric = WriteTimeMetric(cell)
+        assert metric.dimension == 6
+        out = metric(np.zeros((2, 6)))
+        assert out.shape == (2,)
+
+    def test_invalid_capacitance_raises(self, cell):
+        with pytest.raises(ValueError):
+            WriteTimeMetric(cell, node_capacitance=0.0)
+
+    def test_degradation_direction(self, cell):
+        metric = WriteTimeMetric(cell)
+        x = np.zeros((2, 6))
+        x[1, 2] = 4.0  # weak access
+        times = metric(x)
+        assert times[1] > times[0]
+
+
+class TestWriteTimeProblem:
+    def test_factory(self):
+        prob = write_time_problem()
+        assert prob.name == "twrite"
+        assert not prob.spec.fail_below  # fails when too SLOW
+
+    def test_nominal_passes(self):
+        prob = write_time_problem()
+        assert not prob.indicator(np.zeros((1, 6)))[0]
+
+    def test_failure_reachable(self):
+        prob = write_time_problem()
+        x = np.zeros((1, 6))
+        x[0, 2], x[0, 4] = 8.0, -8.0
+        assert prob.indicator(x)[0]

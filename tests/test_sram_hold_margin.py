@@ -1,0 +1,42 @@
+"""Tests for the hold (standby) noise margin (repro.sram.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.sram.metrics import HoldNoiseMarginMetric, ReadNoiseMarginMetric
+
+
+class TestHoldNoiseMargin:
+    @pytest.fixture(scope="class")
+    def hold_metric(self, cell):
+        return HoldNoiseMarginMetric(cell)
+
+    def test_nominal_value_plausible(self, hold_metric):
+        hold = hold_metric(np.zeros(6))[0]
+        assert 0.3 < hold < 0.6
+
+    def test_hold_exceeds_read_margin(self, hold_metric, rnm_metric, rng):
+        """Physics invariant: the read access robs stability, so hold SNM
+        must upper-bound read SNM for every sample."""
+        x = rng.standard_normal((24, 6))
+        hold = hold_metric(x)
+        read = rnm_metric(x)
+        assert np.all(hold > read)
+
+    def test_access_mismatch_irrelevant_when_wl_low(self, hold_metric):
+        """With the wordline off, access-transistor Vth shifts leave the
+        hold margin (essentially) unchanged."""
+        x = np.zeros((2, 6))
+        x[1, 2], x[1, 3] = 6.0, -6.0  # huge access mismatch
+        vals = hold_metric(x)
+        assert vals[1] == pytest.approx(vals[0], abs=2e-3)
+
+    def test_pulldown_mismatch_degrades(self, hold_metric):
+        x = np.zeros((2, 6))
+        x[1, 0] = 5.0
+        vals = hold_metric(x)
+        assert vals[1] < vals[0]
+
+    def test_deterministic(self, hold_metric, rng):
+        x = rng.standard_normal((4, 6))
+        np.testing.assert_array_equal(hold_metric(x), hold_metric(x))

@@ -1,0 +1,92 @@
+"""Tests for the calibrated problem factories (repro.sram.problems)."""
+
+import numpy as np
+import pytest
+
+from repro.sram.problems import (
+    fragile_cell,
+    read_current_problem,
+    read_noise_margin_problem,
+    write_noise_margin_problem,
+)
+
+
+class TestFactories:
+    def test_rnm(self):
+        prob = read_noise_margin_problem()
+        assert prob.name == "rnm"
+        assert prob.dimension == 6
+        assert prob.spec.fail_below
+
+    def test_wnm(self):
+        prob = write_noise_margin_problem()
+        assert prob.dimension == 6
+        assert "write" in prob.description
+
+    def test_iread_uses_fragile_cell(self):
+        prob = read_current_problem()
+        assert prob.dimension == 2
+        # Fragile sizing: access wider than pull-down (cell ratio < 1).
+        geo = prob.metric.cell.geometries
+        assert geo["access"].ratio > geo["pull_down"].ratio
+
+    def test_custom_threshold(self):
+        prob = read_noise_margin_problem(threshold=0.2)
+        assert prob.spec.threshold == pytest.approx(0.2)
+
+    def test_repr(self):
+        assert "rnm" in repr(read_noise_margin_problem())
+
+
+class TestNominalIsPassing:
+    """The nominal corner must pass every spec by construction."""
+
+    def test_rnm_nominal_passes(self):
+        prob = read_noise_margin_problem()
+        assert not prob.indicator(np.zeros((1, 6)))[0]
+
+    def test_wnm_nominal_passes(self):
+        prob = write_noise_margin_problem()
+        assert not prob.indicator(np.zeros((1, 6)))[0]
+
+    def test_iread_nominal_passes(self):
+        prob = read_current_problem()
+        assert not prob.indicator(np.zeros((1, 2)))[0]
+
+
+class TestFailureReachable:
+    """Each spec must be violated somewhere within the sampling clamp."""
+
+    def test_rnm_fails_at_corner(self):
+        prob = read_noise_margin_problem()
+        x = np.zeros((1, 6))
+        x[0, 0], x[0, 2] = 8.0, -8.0
+        assert prob.indicator(x)[0]
+
+    def test_wnm_fails_at_corner(self):
+        prob = write_noise_margin_problem()
+        x = np.zeros((1, 6))
+        x[0, 2], x[0, 4] = 8.0, -8.0
+        assert prob.indicator(x)[0]
+
+    def test_iread_fails_weak_and_upset(self):
+        prob = read_current_problem()
+        weak = np.array([[5.0, 4.0]])
+        upset = np.array([[4.0, -4.0]])
+        assert prob.indicator(weak)[0]
+        assert prob.indicator(upset)[0]
+
+
+class TestFragileCell:
+    def test_low_cell_ratio(self):
+        cell = fragile_cell()
+        ratio = cell.geometries["pull_down"].ratio / cell.geometries["access"].ratio
+        assert ratio < 0.5
+
+    def test_larger_mismatch(self):
+        from repro.sram import SixTransistorCell
+
+        assert (
+            fragile_cell().sigma_vth["pd_l"]
+            > SixTransistorCell().sigma_vth["pd_l"]
+        )

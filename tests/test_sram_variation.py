@@ -1,0 +1,51 @@
+"""Tests for the mismatch mapping (repro.sram.variation)."""
+
+import numpy as np
+import pytest
+
+from repro.sram.variation import VthMismatch
+
+
+class TestVthMismatch:
+    def test_full_cell_dimension(self, cell):
+        vm = VthMismatch(cell)
+        assert vm.dimension == 6
+
+    def test_subset(self, cell):
+        vm = VthMismatch(cell, devices=("pd_l", "ax_l"))
+        assert vm.dimension == 2
+        assert vm.paper_labels() == ("dVth1", "dVth3")
+
+    def test_unknown_device_raises(self, cell):
+        with pytest.raises(KeyError, match="unknown device"):
+            VthMismatch(cell, devices=("pd_l", "bogus"))
+
+    def test_duplicate_device_raises(self, cell):
+        with pytest.raises(ValueError, match="unique"):
+            VthMismatch(cell, devices=("pd_l", "pd_l"))
+
+    def test_deltas_scaled_by_sigma(self, cell):
+        vm = VthMismatch(cell, devices=("pd_l", "pu_l"))
+        x = np.array([[1.0, -2.0]])
+        deltas = vm.deltas(x)
+        assert deltas["pd_l"][0] == pytest.approx(cell.sigma_vth["pd_l"])
+        assert deltas["pu_l"][0] == pytest.approx(-2 * cell.sigma_vth["pu_l"])
+
+    def test_deltas_shape(self, cell, rng):
+        vm = VthMismatch(cell)
+        x = rng.standard_normal((7, 6))
+        deltas = vm.deltas(x)
+        assert set(deltas) == set(vm.devices)
+        assert all(v.shape == (7,) for v in deltas.values())
+
+    def test_wrong_dimension_raises(self, cell):
+        vm = VthMismatch(cell, devices=("pd_l",))
+        with pytest.raises(ValueError):
+            vm.deltas(np.zeros((2, 3)))
+
+    def test_paper_labels_full(self, cell):
+        vm = VthMismatch(cell)
+        assert vm.paper_labels() == tuple(f"dVth{i}" for i in range(1, 7))
+
+    def test_repr_has_sigmas(self, cell):
+        assert "mV" in repr(VthMismatch(cell))

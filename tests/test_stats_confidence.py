@@ -1,0 +1,81 @@
+"""Tests for the 99%-CI relative-error figure of merit (repro.stats.confidence)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.stats.confidence import (
+    Z_99,
+    confidence_halfwidth,
+    montecarlo_relative_error,
+    relative_error,
+)
+
+
+class TestZ99:
+    def test_value(self):
+        assert Z_99 == pytest.approx(2.5758, abs=1e-4)
+
+
+class TestConfidenceHalfwidth:
+    def test_matches_manual_formula(self, rng):
+        w = rng.exponential(size=1000)
+        expected = Z_99 * w.std(ddof=1) / math.sqrt(w.size)
+        assert confidence_halfwidth(w) == pytest.approx(expected, rel=1e-12)
+
+    def test_other_confidence_level(self, rng):
+        w = rng.exponential(size=500)
+        z95 = float(special.ndtri(0.975))
+        expected = z95 * w.std(ddof=1) / math.sqrt(w.size)
+        assert confidence_halfwidth(w, 0.95) == pytest.approx(expected, rel=1e-12)
+
+    def test_too_few_samples_is_inf(self):
+        assert math.isinf(confidence_halfwidth(np.array([1.0])))
+
+    def test_constant_weights_zero_halfwidth(self):
+        assert confidence_halfwidth(np.full(100, 3.0)) == 0.0
+
+
+class TestRelativeError:
+    def test_all_zero_weights_is_inf(self):
+        assert math.isinf(relative_error(np.zeros(100)))
+
+    def test_empty_is_inf(self):
+        assert math.isinf(relative_error(np.array([])))
+
+    def test_scales_inversely_with_sqrt_n(self, rng):
+        w = rng.exponential(size=400)
+        w4 = np.tile(w, 4)
+        # Same mean and (population) variance, 4x the samples -> half error.
+        ratio = relative_error(w4) / relative_error(w)
+        assert ratio == pytest.approx(0.5, rel=0.01)
+
+    def test_zero_variance_is_zero_error(self):
+        """The g_opt limit: constant weights estimate exactly (Section II)."""
+        assert relative_error(np.full(50, 1e-6)) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestMonteCarloRelativeError:
+    def test_formula(self):
+        failures, total = 100, 10_000
+        p = failures / total
+        expected = Z_99 * math.sqrt(p * (1 - p) / total) / p
+        assert montecarlo_relative_error(failures, total) == pytest.approx(expected)
+
+    def test_no_failures_is_inf(self):
+        assert math.isinf(montecarlo_relative_error(0, 1000))
+
+    def test_tiny_total_is_inf(self):
+        assert math.isinf(montecarlo_relative_error(1, 1))
+
+    def test_agrees_with_weight_based_error(self, rng):
+        """A 0/1 weight vector must give (asymptotically) the same answer."""
+        n, p = 50_000, 0.02
+        fails = rng.uniform(size=n) < p
+        w = fails.astype(float)
+        k = int(fails.sum())
+        assert relative_error(w) == pytest.approx(
+            montecarlo_relative_error(k, n), rel=1e-3
+        )

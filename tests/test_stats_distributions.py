@@ -1,0 +1,129 @@
+"""Tests for the univariate laws (repro.stats.distributions).
+
+Cross-validated against scipy.stats and, via hypothesis, for the
+pdf/cdf/ppf consistency identities the Gibbs conditionals rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.stats.distributions import (
+    ChiDistribution,
+    StandardNormal,
+    scipy_equivalent,
+)
+
+
+class TestStandardNormal:
+    dist = StandardNormal()
+
+    def test_pdf_matches_scipy(self):
+        x = np.linspace(-6, 6, 101)
+        np.testing.assert_allclose(self.dist.pdf(x), stats.norm.pdf(x), rtol=1e-12)
+
+    def test_cdf_matches_scipy(self):
+        x = np.linspace(-8, 8, 101)
+        np.testing.assert_allclose(self.dist.cdf(x), stats.norm.cdf(x), rtol=1e-10)
+
+    def test_ppf_matches_scipy(self):
+        q = np.linspace(1e-10, 1 - 1e-10, 51)
+        np.testing.assert_allclose(self.dist.ppf(q), stats.norm.ppf(q), rtol=1e-9)
+
+    def test_logpdf_consistent_with_pdf(self):
+        x = np.linspace(-10, 10, 21)
+        np.testing.assert_allclose(
+            np.exp(self.dist.logpdf(x)), self.dist.pdf(x), rtol=1e-12
+        )
+
+    @given(st.floats(-7.0, 5.0))
+    def test_ppf_inverts_cdf(self, x):
+        # Above ~5 sigma the CDF saturates toward 1 and the double-precision
+        # round trip through 1-q loses digits; the deep *left* tail (which is
+        # the one the failure slices use, via cdf values near 0) stays exact.
+        assert self.dist.ppf(self.dist.cdf(x)) == pytest.approx(x, abs=1e-6)
+
+    def test_support(self):
+        lo, hi = self.dist.support
+        assert lo == -np.inf and hi == np.inf
+
+    def test_sample_moments(self, rng):
+        draws = self.dist.sample(rng, 200_000)
+        assert abs(draws.mean()) < 0.01
+        assert abs(draws.std() - 1.0) < 0.01
+
+
+class TestChiDistribution:
+    @pytest.mark.parametrize("dof", [1, 2, 3, 6, 12, 30])
+    def test_pdf_matches_scipy(self, dof):
+        dist = ChiDistribution(dof)
+        r = np.linspace(0.01, 10, 77)
+        np.testing.assert_allclose(dist.pdf(r), stats.chi.pdf(r, dof), rtol=1e-10)
+
+    @pytest.mark.parametrize("dof", [1, 2, 6, 20])
+    def test_cdf_matches_scipy(self, dof):
+        dist = ChiDistribution(dof)
+        r = np.linspace(0, 12, 61)
+        np.testing.assert_allclose(dist.cdf(r), stats.chi.cdf(r, dof), atol=1e-12)
+
+    @pytest.mark.parametrize("dof", [1, 2, 6, 20])
+    def test_ppf_matches_scipy(self, dof):
+        dist = ChiDistribution(dof)
+        q = np.linspace(1e-9, 1 - 1e-9, 41)
+        np.testing.assert_allclose(dist.ppf(q), stats.chi.ppf(q, dof), rtol=1e-8)
+
+    def test_pdf_zero_at_nonpositive(self):
+        dist = ChiDistribution(6)
+        np.testing.assert_array_equal(dist.pdf(np.array([-1.0, 0.0])), [0.0, 0.0])
+
+    def test_logpdf_minus_inf_at_nonpositive(self):
+        dist = ChiDistribution(4)
+        assert np.all(np.isneginf(dist.logpdf(np.array([-2.0, 0.0]))))
+
+    def test_mean_formula(self):
+        for dof in (1, 2, 6, 15):
+            assert ChiDistribution(dof).mean == pytest.approx(
+                stats.chi.mean(dof), rel=1e-10
+            )
+
+    def test_sample_matches_mean(self, rng):
+        dist = ChiDistribution(6)
+        draws = dist.sample(rng, 100_000)
+        assert draws.mean() == pytest.approx(dist.mean, abs=0.02)
+
+    def test_radius_of_normal_vector_is_chi(self, rng):
+        """Eq. (13): r = ||x|| with x ~ N(0, I_M) follows Chi(M)."""
+        m = 6
+        x = rng.standard_normal((50_000, m))
+        radii = np.linalg.norm(x, axis=1)
+        ks = stats.kstest(radii, stats.chi(m).cdf)
+        assert ks.pvalue > 1e-3
+
+    @given(st.integers(1, 40), st.floats(0.05, 0.95))
+    @settings(max_examples=40)
+    def test_ppf_inverts_cdf(self, dof, q):
+        dist = ChiDistribution(dof)
+        assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-9)
+
+    def test_invalid_dof_raises(self):
+        with pytest.raises(ValueError):
+            ChiDistribution(0)
+
+    def test_support(self):
+        assert ChiDistribution(3).support == (0.0, np.inf)
+
+
+class TestScipyEquivalent:
+    def test_normal(self):
+        frozen = scipy_equivalent(StandardNormal())
+        assert frozen.cdf(0) == pytest.approx(0.5)
+
+    def test_chi(self):
+        frozen = scipy_equivalent(ChiDistribution(5))
+        assert frozen.mean() == pytest.approx(ChiDistribution(5).mean)
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeError):
+            scipy_equivalent(object())

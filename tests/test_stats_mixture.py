@@ -1,0 +1,86 @@
+"""Tests for the Gaussian-mixture proposal (repro.stats.mixture)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.mixture import GaussianMixture
+from repro.stats.mvnormal import MultivariateNormal
+
+
+def bimodal_samples(rng, n=4000):
+    a = rng.standard_normal((n // 2, 2)) * 0.5 + np.array([3.0, 0.0])
+    b = rng.standard_normal((n // 2, 2)) * 0.5 + np.array([-3.0, 0.0])
+    return np.vstack([a, b])
+
+
+class TestConstruction:
+    def test_weight_count_mismatch_raises(self):
+        comp = [MultivariateNormal.standard(2)]
+        with pytest.raises(ValueError, match="one weight"):
+            GaussianMixture(np.array([0.5, 0.5]), comp)
+
+    def test_weights_must_sum_to_one(self):
+        comps = [MultivariateNormal.standard(2), MultivariateNormal.standard(2)]
+        with pytest.raises(ValueError, match="sum to 1"):
+            GaussianMixture(np.array([0.5, 0.2]), comps)
+
+    def test_dimension_mismatch_raises(self):
+        comps = [MultivariateNormal.standard(2), MultivariateNormal.standard(3)]
+        with pytest.raises(ValueError, match="share one dimension"):
+            GaussianMixture(np.array([0.5, 0.5]), comps)
+
+
+class TestFit:
+    def test_recovers_bimodal_means(self, rng):
+        samples = bimodal_samples(rng)
+        gm = GaussianMixture.fit(samples, n_components=2, rng=rng)
+        means = sorted(c.mean[0] for c in gm.components)
+        assert means[0] == pytest.approx(-3.0, abs=0.3)
+        assert means[1] == pytest.approx(3.0, abs=0.3)
+
+    def test_component_cap_for_small_samples(self, rng):
+        samples = rng.standard_normal((12, 3))
+        gm = GaussianMixture.fit(samples, n_components=5, rng=rng)
+        assert len(gm.components) < 5
+
+    def test_single_component_matches_normal_fit(self, rng):
+        samples = rng.standard_normal((500, 2)) + np.array([1.0, -1.0])
+        gm = GaussianMixture.fit(samples, n_components=1, rng=rng, ridge=0.0)
+        direct = MultivariateNormal.fit(samples, ridge=0.0, min_variance=0.0)
+        np.testing.assert_allclose(gm.components[0].mean, direct.mean, atol=1e-8)
+
+
+class TestDensityAndSampling:
+    def test_logpdf_matches_manual_mixture(self, rng):
+        comps = [
+            MultivariateNormal(np.array([2.0, 0.0]), np.eye(2)),
+            MultivariateNormal(np.array([-2.0, 0.0]), 2 * np.eye(2)),
+        ]
+        gm = GaussianMixture(np.array([0.3, 0.7]), comps)
+        x = rng.standard_normal((9, 2)) * 3
+        manual = np.log(0.3 * comps[0].pdf(x) + 0.7 * comps[1].pdf(x))
+        np.testing.assert_allclose(gm.logpdf(x), manual, rtol=1e-10)
+
+    def test_pdf_integrates_to_one(self, rng):
+        comps = [
+            MultivariateNormal(np.array([1.0]), np.eye(1)),
+            MultivariateNormal(np.array([-1.0]), 0.25 * np.eye(1)),
+        ]
+        gm = GaussianMixture(np.array([0.4, 0.6]), comps)
+        x = np.linspace(-10, 10, 4001)[:, np.newaxis]
+        integral = np.trapezoid(gm.pdf(x), x[:, 0])
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+    def test_sample_proportions(self, rng):
+        comps = [
+            MultivariateNormal(np.array([10.0, 0.0]), np.eye(2) * 0.01),
+            MultivariateNormal(np.array([-10.0, 0.0]), np.eye(2) * 0.01),
+        ]
+        gm = GaussianMixture(np.array([0.25, 0.75]), comps)
+        draws = gm.sample(20_000, rng)
+        frac_right = np.mean(draws[:, 0] > 0)
+        assert frac_right == pytest.approx(0.25, abs=0.02)
+
+    def test_sample_shape(self, rng):
+        gm = GaussianMixture.fit(rng.standard_normal((200, 3)), 2, rng=rng)
+        assert gm.sample(17, rng).shape == (17, 3)

@@ -1,0 +1,114 @@
+"""Tests for the multivariate Normal (repro.stats.mvnormal)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.stats.mvnormal import MultivariateNormal
+
+
+def random_spd(rng, dim):
+    a = rng.standard_normal((dim, dim))
+    return a @ a.T + dim * np.eye(dim) * 0.1
+
+
+class TestConstruction:
+    def test_standard(self):
+        mvn = MultivariateNormal.standard(4)
+        np.testing.assert_array_equal(mvn.mean, np.zeros(4))
+        np.testing.assert_array_equal(mvn.cov, np.eye(4))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cov shape"):
+            MultivariateNormal(np.zeros(3), np.eye(2))
+
+    def test_non_vector_mean_raises(self):
+        with pytest.raises(ValueError, match="mean"):
+            MultivariateNormal(np.zeros((2, 2)), np.eye(2))
+
+    def test_indefinite_cov_raises(self):
+        cov = np.array([[1.0, 2.0], [2.0, 1.0]])  # eigenvalues 3, -1
+        with pytest.raises(ValueError, match="positive definite"):
+            MultivariateNormal(np.zeros(2), cov)
+
+
+class TestLogpdf:
+    def test_matches_scipy(self, rng):
+        dim = 5
+        mean = rng.standard_normal(dim)
+        cov = random_spd(rng, dim)
+        mvn = MultivariateNormal(mean, cov)
+        x = rng.standard_normal((20, dim))
+        expected = stats.multivariate_normal(mean, cov).logpdf(x)
+        np.testing.assert_allclose(mvn.logpdf(x), expected, rtol=1e-10)
+
+    def test_pdf_exponentiates(self, rng):
+        mvn = MultivariateNormal.standard(3)
+        x = rng.standard_normal((5, 3))
+        np.testing.assert_allclose(mvn.pdf(x), np.exp(mvn.logpdf(x)))
+
+    def test_single_point_accepted(self):
+        mvn = MultivariateNormal.standard(2)
+        out = mvn.logpdf(np.array([0.0, 0.0]))
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(-np.log(2 * np.pi))
+
+    def test_mahalanobis(self, rng):
+        dim = 4
+        cov = random_spd(rng, dim)
+        mean = rng.standard_normal(dim)
+        mvn = MultivariateNormal(mean, cov)
+        x = rng.standard_normal((7, dim))
+        expected = np.array(
+            [ (p - mean) @ np.linalg.solve(cov, p - mean) for p in x ]
+        )
+        np.testing.assert_allclose(mvn.mahalanobis(x), expected, rtol=1e-9)
+
+
+class TestSampling:
+    def test_sample_shape(self, rng):
+        mvn = MultivariateNormal.standard(3)
+        assert mvn.sample(11, rng).shape == (11, 3)
+
+    def test_sample_moments(self, rng):
+        mean = np.array([1.0, -2.0])
+        cov = np.array([[2.0, 0.8], [0.8, 1.0]])
+        mvn = MultivariateNormal(mean, cov)
+        draws = mvn.sample(200_000, rng)
+        np.testing.assert_allclose(draws.mean(axis=0), mean, atol=0.02)
+        np.testing.assert_allclose(np.cov(draws, rowvar=False), cov, atol=0.03)
+
+    def test_deterministic_with_seed(self):
+        mvn = MultivariateNormal.standard(2)
+        a = mvn.sample(5, np.random.default_rng(1))
+        b = mvn.sample(5, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFit:
+    def test_fit_recovers_moments(self, rng):
+        mean = np.array([0.5, -1.0, 2.0])
+        cov = random_spd(rng, 3)
+        draws = MultivariateNormal(mean, cov).sample(100_000, rng)
+        fitted = MultivariateNormal.fit(draws, ridge=0.0, min_variance=0.0)
+        np.testing.assert_allclose(fitted.mean, mean, atol=0.03)
+        np.testing.assert_allclose(fitted.cov, cov, atol=0.1)
+
+    def test_fit_needs_two_samples(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            MultivariateNormal.fit(np.zeros((1, 3)))
+
+    def test_degenerate_cloud_still_fits(self):
+        """A rank-deficient sample cloud (all points on a line) must still
+        yield a proper density thanks to the variance floor."""
+        t = np.linspace(0, 1, 50)
+        samples = np.stack([t, 2 * t, -t], axis=1)
+        fitted = MultivariateNormal.fit(samples)
+        assert np.all(np.isfinite(fitted.logpdf(samples)))
+        assert np.all(np.diag(fitted.cov) >= 1e-4 - 1e-12)
+
+    def test_min_variance_floor(self):
+        samples = np.random.default_rng(0).standard_normal((100, 2))
+        samples[:, 1] *= 1e-6  # nearly collapsed second axis
+        fitted = MultivariateNormal.fit(samples, min_variance=0.01)
+        assert fitted.cov[1, 1] >= 0.01 - 1e-12

@@ -1,0 +1,73 @@
+"""Tests for PCA whitening (repro.stats.pca)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.pca import PCAWhitener
+
+
+@pytest.fixture
+def correlated(rng):
+    mean = np.array([1.0, -2.0, 0.5])
+    a = rng.standard_normal((3, 3))
+    cov = a @ a.T + 0.5 * np.eye(3)
+    return mean, cov
+
+
+class TestConstruction:
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ValueError):
+            PCAWhitener(np.zeros(2), np.eye(3))
+
+    def test_singular_cov_raises(self):
+        cov = np.array([[1.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(ValueError, match="positive definite"):
+            PCAWhitener(np.zeros(2), cov)
+
+    def test_eigenvalues_descending(self, correlated):
+        mean, cov = correlated
+        w = PCAWhitener(mean, cov)
+        assert np.all(np.diff(w.eigenvalues) <= 0)
+
+
+class TestRoundTrip:
+    def test_physical_white_physical(self, rng, correlated):
+        mean, cov = correlated
+        w = PCAWhitener(mean, cov)
+        x = rng.standard_normal((40, 3)) @ np.linalg.cholesky(cov).T + mean
+        np.testing.assert_allclose(w.to_physical(w.to_white(x)), x, rtol=1e-10)
+
+    def test_white_physical_white(self, rng, correlated):
+        mean, cov = correlated
+        w = PCAWhitener(mean, cov)
+        z = rng.standard_normal((40, 3))
+        np.testing.assert_allclose(w.to_white(w.to_physical(z)), z, rtol=1e-10)
+
+
+class TestWhitening:
+    def test_whitened_samples_are_standard_normal(self, rng, correlated):
+        mean, cov = correlated
+        w = PCAWhitener(mean, cov)
+        x = rng.standard_normal((100_000, 3)) @ np.linalg.cholesky(cov).T + mean
+        z = w.to_white(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=0.02)
+        np.testing.assert_allclose(np.cov(z, rowvar=False), np.eye(3), atol=0.03)
+
+    def test_fit_from_samples(self, rng, correlated):
+        mean, cov = correlated
+        x = rng.standard_normal((100_000, 3)) @ np.linalg.cholesky(cov).T + mean
+        w = PCAWhitener.fit(x)
+        np.testing.assert_allclose(w.mean, mean, atol=0.03)
+        z = w.to_white(x)
+        np.testing.assert_allclose(np.cov(z, rowvar=False), np.eye(3), atol=0.03)
+
+    def test_whiten_metric_wraps_coordinates(self, correlated):
+        mean, cov = correlated
+        w = PCAWhitener(mean, cov)
+
+        def physical_metric(x):
+            return x[:, 0]
+
+        wrapped = w.whiten_metric(physical_metric)
+        z = np.zeros((1, 3))
+        assert wrapped(z)[0] == pytest.approx(mean[0])

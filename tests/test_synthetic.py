@@ -1,0 +1,133 @@
+"""Tests for the analytic synthetic problems (repro.synthetic.metrics)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synthetic import (
+    AnnularArcMetric,
+    LinearMetric,
+    QuadrantMetric,
+    SphereTailMetric,
+)
+
+
+def mc_check(problem, rng, n=400_000):
+    """Crude Monte-Carlo estimate for cross-validation of exact formulas."""
+    x = rng.standard_normal((n, problem.dimension))
+    return problem.indicator(x).mean()
+
+
+class TestLinearMetric:
+    def test_margin_sign(self):
+        m = LinearMetric(np.array([1.0, 0.0]), 2.0)
+        assert m(np.array([[3.0, 0.0]]))[0] < 0  # fails
+        assert m(np.array([[1.0, 0.0]]))[0] > 0  # passes
+
+    def test_exact_probability_formula(self):
+        m = LinearMetric(np.array([3.0, 4.0]), 10.0)  # ||a|| = 5, b/||a|| = 2
+        from scipy.stats import norm
+
+        assert m.exact_failure_probability == pytest.approx(norm.cdf(-2.0))
+
+    def test_exact_matches_mc(self, rng):
+        prob = LinearMetric(np.array([1.0, -1.0, 2.0]), 3.0).problem()
+        est = mc_check(prob, rng)
+        assert est == pytest.approx(prob.exact_failure_probability, rel=0.1)
+
+    def test_zero_direction_raises(self):
+        with pytest.raises(ValueError):
+            LinearMetric(np.zeros(3), 1.0)
+
+    @given(st.integers(2, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_any_dimension(self, m):
+        metric = LinearMetric(np.ones(m), 4.0 * math.sqrt(m))
+        # b/||a|| = 4 regardless of dimension.
+        assert metric.exact_failure_probability == pytest.approx(
+            3.167e-5, rel=1e-3
+        )
+
+
+class TestQuadrantMetric:
+    def test_eq18_quarter_plane(self):
+        """The paper's Eq. (18): P(x1 >= 0, x2 >= 0) = 1/4."""
+        m = QuadrantMetric(np.zeros(2))
+        assert m.exact_failure_probability == pytest.approx(0.25)
+
+    def test_margin_sign(self):
+        m = QuadrantMetric(np.array([1.0, 1.0]))
+        assert m(np.array([[2.0, 2.0]]))[0] < 0
+        assert m(np.array([[2.0, 0.0]]))[0] > 0
+
+    def test_exact_matches_mc(self, rng):
+        prob = QuadrantMetric(np.array([1.0, 0.5])).problem()
+        est = mc_check(prob, rng)
+        assert est == pytest.approx(prob.exact_failure_probability, rel=0.05)
+
+    def test_scalar_corner(self):
+        m = QuadrantMetric(1.5)
+        assert m.dimension == 1
+
+
+class TestSphereTailMetric:
+    def test_exact_probability_2d(self):
+        m = SphereTailMetric(radius=3.0, dimension=2)
+        assert m.exact_failure_probability == pytest.approx(math.exp(-4.5))
+
+    def test_exact_matches_mc(self, rng):
+        prob = SphereTailMetric(radius=2.0, dimension=4).problem()
+        est = mc_check(prob, rng)
+        assert est == pytest.approx(prob.exact_failure_probability, rel=0.05)
+
+    def test_margin_sign(self):
+        m = SphereTailMetric(radius=2.0, dimension=2)
+        assert m(np.array([[3.0, 0.0]]))[0] < 0
+        assert m(np.array([[1.0, 0.0]]))[0] > 0
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            SphereTailMetric(radius=-1.0, dimension=2)
+
+
+class TestAnnularArcMetric:
+    def test_exact_probability(self):
+        m = AnnularArcMetric(radius=3.0, center_angle=0.0, half_width=math.pi / 4)
+        expected = math.exp(-4.5) * 0.25
+        assert m.exact_failure_probability == pytest.approx(expected)
+
+    def test_exact_matches_mc(self, rng):
+        prob = AnnularArcMetric(2.0, 1.0, 1.0).problem()
+        est = mc_check(prob, rng)
+        assert est == pytest.approx(prob.exact_failure_probability, rel=0.1)
+
+    def test_fails_only_inside_arc(self):
+        m = AnnularArcMetric(radius=3.0, center_angle=0.0, half_width=0.5)
+        inside = np.array([[4.0, 0.0]])
+        wrong_angle = np.array([[0.0, 4.0]])
+        too_close = np.array([[1.0, 0.0]])
+        assert m(inside)[0] < 0
+        assert m(wrong_angle)[0] > 0
+        assert m(too_close)[0] > 0
+
+    def test_angle_wrapping(self):
+        """A region straddling the +/- pi cut must stay continuous."""
+        m = AnnularArcMetric(radius=2.0, center_angle=math.pi, half_width=0.4)
+        just_above = np.array([[-4.0, 0.1]])
+        just_below = np.array([[-4.0, -0.1]])
+        assert m(just_above)[0] < 0
+        assert m(just_below)[0] < 0
+
+    def test_invalid_half_width(self):
+        with pytest.raises(ValueError):
+            AnnularArcMetric(2.0, 0.0, 4.0)
+
+    def test_problem_wrapper(self):
+        prob = AnnularArcMetric(3.0, 0.0, 0.5).problem("demo")
+        assert prob.name == "demo"
+        assert prob.dimension == 2
+        x = np.array([[4.0, 0.0]])
+        assert prob.indicator(x)[0]

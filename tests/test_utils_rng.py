@@ -1,0 +1,58 @@
+"""Tests for RNG plumbing (repro.utils.rng)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).standard_normal(5)
+        b = ensure_rng(7).standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).standard_normal(5)
+        b = ensure_rng(2).standard_normal(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough_shares_state(self):
+        gen = np.random.default_rng(0)
+        same = ensure_rng(gen)
+        assert same is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(99)
+        gen = ensure_rng(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.standard_normal(10), b.standard_normal(10))
+
+    def test_deterministic_given_seed(self):
+        a1, b1 = spawn_rngs(5, 2)
+        a2, b2 = spawn_rngs(5, 2)
+        np.testing.assert_array_equal(a1.standard_normal(4), a2.standard_normal(4))
+        np.testing.assert_array_equal(b1.standard_normal(4), b2.standard_normal(4))
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        children = spawn_rngs(gen, 3)
+        assert len(children) == 3

@@ -1,0 +1,52 @@
+"""Tests for input validation helpers (repro.utils.validation)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import as_sample_matrix, check_finite
+
+
+class TestAsSampleMatrix:
+    def test_vector_promoted_to_row(self):
+        out = as_sample_matrix(np.array([1.0, 2.0, 3.0]))
+        assert out.shape == (1, 3)
+
+    def test_matrix_passthrough(self):
+        x = np.zeros((4, 2))
+        out = as_sample_matrix(x)
+        assert out.shape == (4, 2)
+
+    def test_dimension_enforced(self):
+        with pytest.raises(ValueError, match="columns"):
+            as_sample_matrix(np.zeros((3, 2)), dimension=5)
+
+    def test_dimension_accepted(self):
+        out = as_sample_matrix(np.zeros((3, 5)), dimension=5)
+        assert out.shape == (3, 5)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="sample matrix"):
+            as_sample_matrix(np.zeros((2, 2, 2)))
+
+    def test_list_input_coerced_to_float(self):
+        out = as_sample_matrix([[1, 2], [3, 4]])
+        assert out.dtype == float
+
+    def test_vector_dimension_check(self):
+        out = as_sample_matrix(np.array([1.0, 2.0]), dimension=2)
+        assert out.shape == (1, 2)
+
+
+class TestCheckFinite:
+    def test_finite_passes(self):
+        arr = np.array([1.0, -2.0, 0.0])
+        out = check_finite("x", arr)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError, match="x contains"):
+            check_finite("x", np.array([1.0, np.nan]))
+
+    def test_inf_raises(self):
+        with pytest.raises(ValueError, match="grid"):
+            check_finite("grid", np.array([np.inf]))
