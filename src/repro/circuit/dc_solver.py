@@ -13,6 +13,13 @@ Robustness measures (all standard SPICE practice):
 * voltage clipping to a window around the supply rails,
 * one automatic restart from an alternative initial guess for any batch
   members that fail to converge on the first attempt.
+
+The Newton loop shrinks its **active set** as members converge: residual,
+Jacobian and ``np.linalg.solve`` are only evaluated over the still-running
+batch rows.  In a typical Monte-Carlo batch most samples converge within a
+few iterations and a handful of stragglers run long, so the tail iterations
+cost a fraction of the full batch — this compounds with the large lockstep
+multi-chain batches issued by the Gibbs engine.
 """
 
 from __future__ import annotations
@@ -40,7 +47,9 @@ class DCSolution:
         Boolean array (batch shape): which batch members satisfied the
         residual tolerance.
     iterations:
-        Total Newton iterations performed (including the restart pass).
+        Newton iterations actually executed (loop passes over the active
+        set, restart pass included) — *not* the iteration cap: a batch that
+        converges in 9 steps reports 9 even when ``max_iterations`` is 120.
     element_params:
         Per-element parameter overrides used for the solve, kept so branch
         currents can be recomputed consistently.
@@ -152,15 +161,26 @@ def solve_dc(
         rows = [free_index.get(n, -1) for n in element.nodes]
         compiled.append((element, rows, params_flat.get(element.name, {})))
 
-    def residual_and_jacobian(v_free: np.ndarray):
-        f = np.zeros((n_batch, n_free))
-        jac = np.zeros((n_batch, n_free, n_free))
-        node_v = {n: clamp_flat[n] for n in clamp_flat}
+    def residual_and_jacobian(v_free: np.ndarray, rows_idx: np.ndarray):
+        """KCL residual and Jacobian over the batch rows in ``rows_idx``.
+
+        ``v_free`` holds only the active rows (``rows_idx.size`` of them);
+        clamp voltages and element parameters are sliced to match, so the
+        per-iteration cost scales with the surviving active set rather than
+        the full batch.
+        """
+        n_active = rows_idx.size
+        f = np.zeros((n_active, n_free))
+        jac = np.zeros((n_active, n_free, n_free))
+        node_v = {n: clamp_flat[n][rows_idx] for n in clamp_flat}
         for node, idx in free_index.items():
             node_v[node] = v_free[:, idx]
         for element, rows, kw in compiled:
             terminal_v = tuple(node_v[n] for n in element.nodes)
-            currents, partials = element.kcl_contributions(terminal_v, **kw)
+            kw_active = {k: v[rows_idx] for k, v in kw.items()}
+            currents, partials = element.kcl_contributions(
+                terminal_v, **kw_active
+            )
             for i, row in enumerate(rows):
                 if row < 0:
                     continue
@@ -172,39 +192,63 @@ def solve_dc(
         return f, jac
 
     def newton(v_free: np.ndarray, active: np.ndarray, iters: int, step_cap: float):
-        """Damped Newton on the ``active`` batch members; returns converged mask."""
+        """Damped Newton on the ``active`` batch members.
+
+        The active set shrinks as members converge — converged rows are
+        written back to ``v_free`` and drop out of every subsequent
+        residual/Jacobian evaluation and linear solve.  Returns the updated
+        voltages, the converged mask and the number of Newton iterations
+        actually executed.
+        """
         converged = ~active
+        idx = np.flatnonzero(active)
+        v_act = v_free[idx]
+        n_iters = 0
         for _ in range(iters):
-            f, jac = residual_and_jacobian(v_free)
-            err = np.abs(f).max(axis=1) if n_free else np.zeros(n_batch)
-            newly = err < current_tol
-            converged = converged | newly
-            if converged.all():
+            if idx.size == 0:
                 break
+            f, jac = residual_and_jacobian(v_act, idx)
+            err = np.abs(f).max(axis=1)
+            done = err < current_tol
+            if done.any():
+                converged[idx[done]] = True
+                v_free[idx[done]] = v_act[done]
+                keep = ~done
+                idx, v_act, f, jac = idx[keep], v_act[keep], f[keep], jac[keep]
+                if idx.size == 0:
+                    break
             dv = np.linalg.solve(jac, -f[..., np.newaxis])[..., 0]
             dv = np.clip(dv, -step_cap, step_cap)
-            # Freeze converged members so they stay exactly at their solution.
-            dv[converged] = 0.0
-            v_free = np.clip(v_free + dv, v_min, v_max)
+            v_act = np.clip(v_act + dv, v_min, v_max)
+            n_iters += 1
         else:
-            f, _ = residual_and_jacobian(v_free)
-            err = np.abs(f).max(axis=1) if n_free else np.zeros(n_batch)
-            converged = converged | (err < current_tol)
-        return v_free, converged
+            # Iteration budget exhausted: one last residual check on the
+            # stragglers (a final step may have just crossed the tolerance).
+            if idx.size:
+                f, _ = residual_and_jacobian(v_act, idx)
+                done = np.abs(f).max(axis=1) < current_tol
+                converged[idx[done]] = True
+        if idx.size:
+            v_free[idx] = v_act
+        return v_free, converged, n_iters
 
     iterations = 0
     if n_free:
         v_free = initial_guess(0.5 * (rail_hi + rail_lo))
         active = np.ones(n_batch, dtype=bool)
-        v_free, converged = newton(v_free, active, max_iterations, max_step)
-        iterations += max_iterations
+        v_free, converged, n_iters = newton(
+            v_free, active, max_iterations, max_step
+        )
+        iterations += n_iters
         if not converged.all():
             # Restart stragglers from a rail-adjacent guess with heavy damping.
             retry = ~converged
             v_retry = initial_guess(0.9 * rail_hi)
             v_free = np.where(retry[:, np.newaxis], v_retry, v_free)
-            v_free, converged = newton(v_free, retry, max_iterations, 0.05)
-            iterations += max_iterations
+            v_free, converged, n_iters = newton(
+                v_free, retry, max_iterations, 0.05
+            )
+            iterations += n_iters
     else:
         v_free = np.zeros((n_batch, 0))
         converged = np.ones(n_batch, dtype=bool)

@@ -16,13 +16,21 @@
   (Algorithm 5).
 """
 
-from repro.gibbs.bounds import FailureInterval, failure_interval
-from repro.gibbs.cartesian import CartesianGibbs, GibbsChain
+from repro.gibbs.bounds import (
+    BatchedFailureIntervals,
+    FailureInterval,
+    batched_failure_interval,
+    failure_interval,
+)
+from repro.gibbs.cartesian import CartesianGibbs, GibbsChain, MultiChainGibbs
 from repro.gibbs.coordinates import (
     initial_spherical_coordinates,
     spherical_to_cartesian,
 )
-from repro.gibbs.inverse_transform import sample_conditional_1d
+from repro.gibbs.inverse_transform import (
+    sample_conditional_1d,
+    sample_conditional_batch,
+)
 from repro.gibbs.spherical import SphericalGibbs
 from repro.gibbs.starting_point import StartingPoint, find_starting_point
 from repro.gibbs.two_stage import gibbs_importance_sampling
@@ -30,10 +38,14 @@ from repro.gibbs.two_stage import gibbs_importance_sampling
 __all__ = [
     "failure_interval",
     "FailureInterval",
+    "batched_failure_interval",
+    "BatchedFailureIntervals",
     "sample_conditional_1d",
+    "sample_conditional_batch",
     "CartesianGibbs",
     "SphericalGibbs",
     "GibbsChain",
+    "MultiChainGibbs",
     "spherical_to_cartesian",
     "initial_spherical_coordinates",
     "StartingPoint",

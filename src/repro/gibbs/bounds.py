@@ -40,6 +40,31 @@ class FailureInterval:
         return self.upper - self.lower
 
 
+@dataclass(frozen=True)
+class BatchedFailureIntervals:
+    """Verified-failing 1-D intervals for ``C`` lockstep chains.
+
+    The arrays are aligned by chain index; ``n_simulations`` is the grand
+    total across chains, ``per_chain_simulations`` its per-chain breakdown
+    (each entry equals what :func:`failure_interval` would have spent on
+    that chain alone — batching changes wall-clock, never the paper's cost
+    metric).
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    n_simulations: int
+    per_chain_simulations: np.ndarray
+
+    @property
+    def n_chains(self) -> int:
+        return self.lower.size
+
+    @property
+    def widths(self) -> np.ndarray:
+        return self.upper - self.lower
+
+
 def failure_interval(
     fails: Callable[[np.ndarray], np.ndarray],
     current: float,
@@ -105,3 +130,95 @@ def failure_interval(
     lower = lo if not left_active else left_fail
     upper = hi if not right_active else right_fail
     return FailureInterval(lower=lower, upper=upper, n_simulations=n_sims)
+
+
+def batched_failure_interval(
+    fails: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    current: np.ndarray,
+    lo: float,
+    hi: float,
+    bisect_iters: int = 5,
+) -> BatchedFailureIntervals:
+    """Locate the failure intervals of ``C`` lockstep chains simultaneously.
+
+    The per-chain bracket state is advanced with masked NumPy updates, so
+    each bisection step issues **one** call to ``fails`` covering every
+    chain's pending midpoints (at most ``2 C`` points) instead of up to
+    ``2 C`` scalar calls — the batching that makes the lockstep multi-chain
+    engine fast on a vectorised simulator.
+
+    Parameters
+    ----------
+    fails:
+        Batched indicator ``fails(chain_idx, values) -> bool array``:
+        evaluates chain ``chain_idx[i]``'s 1-D slice at coordinate value
+        ``values[i]`` for all ``i`` in one simulator batch.  Each evaluated
+        value is one transistor-level simulation, exactly as in the scalar
+        search.
+    current:
+        ``(C,)`` coordinate values, each assumed to fail on its own chain.
+    lo, hi:
+        Shared clamp bounds (the paper's ``[-zeta, +zeta]``).
+    bisect_iters:
+        Bisection depth per endpoint, as in :func:`failure_interval`.
+
+    The returned intervals and per-chain simulation counts are **identical**
+    to running :func:`failure_interval` independently per chain (the
+    property test in ``tests/test_gibbs_multichain.py`` pins this): a side
+    whose clamp endpoint already fails is excluded from every subsequent
+    batch, so no chain is ever charged for a query the scalar search would
+    not have made.
+    """
+    current = np.asarray(current, dtype=float).reshape(-1)
+    n_chains = current.size
+    if n_chains == 0:
+        raise ValueError("need at least one chain")
+    if np.any((current < lo) | (current > hi)):
+        bad = current[(current < lo) | (current > hi)][0]
+        raise ValueError(
+            f"current value {bad} outside clamp bounds [{lo}, {hi}]"
+        )
+
+    # Endpoint check: (lo, hi) per chain, one batch of 2C points.
+    chain_idx = np.repeat(np.arange(n_chains), 2)
+    endpoint_fail = np.asarray(
+        fails(chain_idx, np.tile(np.array([lo, hi], dtype=float), n_chains)),
+        dtype=bool,
+    ).reshape(n_chains, 2)
+    per_chain = np.full(n_chains, 2, dtype=int)
+
+    left_active = ~endpoint_fail[:, 0]
+    right_active = ~endpoint_fail[:, 1]
+    left_pass = np.full(n_chains, float(lo))
+    left_fail = current.copy()
+    right_fail = current.copy()
+    right_pass = np.full(n_chains, float(hi))
+
+    for _ in range(bisect_iters):
+        if not (left_active.any() or right_active.any()):
+            break
+        l_idx = np.flatnonzero(left_active)
+        r_idx = np.flatnonzero(right_active)
+        l_mid = 0.5 * (left_pass[l_idx] + left_fail[l_idx])
+        r_mid = 0.5 * (right_fail[r_idx] + right_pass[r_idx])
+        outcome = np.asarray(
+            fails(np.concatenate([l_idx, r_idx]), np.concatenate([l_mid, r_mid])),
+            dtype=bool,
+        )
+        per_chain[l_idx] += 1
+        per_chain[r_idx] += 1
+        out_l = outcome[: l_idx.size]
+        out_r = outcome[l_idx.size:]
+        left_fail[l_idx[out_l]] = l_mid[out_l]
+        left_pass[l_idx[~out_l]] = l_mid[~out_l]
+        right_fail[r_idx[out_r]] = r_mid[out_r]
+        right_pass[r_idx[~out_r]] = r_mid[~out_r]
+
+    lower = np.where(left_active, left_fail, lo)
+    upper = np.where(right_active, right_fail, hi)
+    return BatchedFailureIntervals(
+        lower=lower,
+        upper=upper,
+        n_simulations=int(per_chain.sum()),
+        per_chain_simulations=per_chain,
+    )

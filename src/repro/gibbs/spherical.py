@@ -20,8 +20,11 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.gibbs.cartesian import GibbsChain
-from repro.gibbs.inverse_transform import sample_conditional_1d
+from repro.gibbs.cartesian import GibbsChain, MultiChainGibbs
+from repro.gibbs.inverse_transform import (
+    sample_conditional_1d,
+    sample_conditional_batch,
+)
 from repro.mc.indicator import FailureSpec
 from repro.stats.distributions import ChiDistribution, StandardNormal
 from repro.utils.rng import SeedLike, ensure_rng
@@ -115,6 +118,51 @@ class SphericalGibbs:
 
         return fails
 
+    @staticmethod
+    def _unit_rows(alpha: np.ndarray) -> np.ndarray:
+        # Row-wise 1-D norms rather than a single axis=1 reduction: the two
+        # differ in the last ulp (BLAS dot vs ufunc reduce), and lockstep
+        # runs promise bit-identical trajectories to the sequential path.
+        norms = np.array([float(np.linalg.norm(row)) for row in alpha])
+        if np.any(norms < 1e-300):
+            raise ValueError("orientation vector collapsed to zero length")
+        return alpha / norms[:, np.newaxis]
+
+    def _radius_indicator_lockstep(self, units: np.ndarray):
+        """Batched radial indicator: chain ``c`` probes along ``units[c]``."""
+
+        def fails(chain_idx: np.ndarray, values: np.ndarray) -> np.ndarray:
+            points = values[:, np.newaxis] * units[chain_idx]
+            return self.spec.indicator(self.metric(points))
+
+        return fails
+
+    def _orientation_indicator_lockstep(
+        self, r: np.ndarray, alpha: np.ndarray, m: int
+    ):
+        """Batched orientation indicator along component ``m`` per chain."""
+
+        def fails(chain_idx: np.ndarray, values: np.ndarray) -> np.ndarray:
+            candidates = alpha[chain_idx]
+            candidates[:, m] = values
+            norms = np.linalg.norm(candidates, axis=1)
+            # Mirrors the scalar indicator: a zero-length candidate has no
+            # direction and cannot be a failure sample, and is never sent
+            # to the simulator.
+            safe = norms > 1e-300
+            out = np.zeros(values.size, dtype=bool)
+            if safe.any():
+                # Same operation order as the scalar indicator so a C=1
+                # lockstep run stays bit-identical to the sequential path.
+                points = (
+                    r[chain_idx][safe, np.newaxis] * candidates[safe]
+                    / norms[safe, np.newaxis]
+                )
+                out[safe] = self.spec.indicator(self.metric(points))
+            return out
+
+        return fails
+
     def _orientation_indicator(self, r: float, alpha: np.ndarray, m: int):
         def fails(values: np.ndarray) -> np.ndarray:
             values = np.atleast_1d(values)
@@ -202,3 +250,93 @@ class SphericalGibbs:
             k += 1
             coord = (coord + 1) % (self.dimension + 1)
         return GibbsChain(samples=samples, n_simulations=n_sims, interval_widths=widths)
+
+    def run_lockstep(
+        self,
+        r0: np.ndarray,
+        alpha0: np.ndarray,
+        n_samples: int,
+        rng: SeedLike = None,
+        verify_start: bool = True,
+    ) -> MultiChainGibbs:
+        """Advance ``C`` spherical chains synchronously (lockstep G-S).
+
+        ``alpha0`` is ``(C, M)`` and ``r0`` is ``(C,)`` (scalars / single
+        points are promoted to one chain).  All chains move through the
+        same coordinate schedule — radius, then each orientation component
+        — so every bisection step batches into one metric call across
+        chains, exactly as in :meth:`CartesianGibbs.run_lockstep`.  With
+        ``C = 1`` the chain is bit-for-bit identical to :meth:`run` under
+        the same seed.
+        """
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be positive, got {n_samples}")
+        rng = ensure_rng(rng)
+        alpha = np.atleast_2d(np.asarray(alpha0, dtype=float)).copy()
+        if alpha.ndim != 2 or alpha.shape[1] != self.dimension:
+            raise ValueError(
+                f"alpha0 has shape {np.shape(alpha0)}, expected "
+                f"(n_chains, {self.dimension})"
+            )
+        n_chains = alpha.shape[0]
+        r = np.asarray(r0, dtype=float).reshape(-1)
+        if r.size not in (1, n_chains):
+            raise ValueError(
+                f"r0 has size {r.size}, expected 1 or {n_chains}"
+            )
+        r = np.broadcast_to(r, (n_chains,)).astype(float).copy()
+        if np.any((r <= 0.0) | (r > self.r_max)):
+            raise ValueError(
+                f"r0 must be in (0, {self.r_max}], got {r.tolist()}"
+            )
+
+        per_chain = np.zeros(n_chains, dtype=int)
+        if verify_start:
+            x_start = r[:, np.newaxis] * self._unit_rows(alpha)
+            failing = np.asarray(
+                self.spec.indicator(self.metric(x_start)), dtype=bool
+            )
+            per_chain += 1
+            if not failing.all():
+                bad = np.flatnonzero(~failing)
+                raise ValueError(
+                    f"starting point(s) {bad.tolist()} not in the failure region"
+                )
+
+        scale = float(np.sqrt(self.dimension))
+        samples = np.empty((n_chains, n_samples, self.dimension))
+        widths = np.empty((n_chains, n_samples))
+        coord = 0  # 0 = radius, 1..M = orientation components
+        for k in range(n_samples):
+            if coord == 0:
+                if self.normalize_each_sweep:
+                    # Scale redundancy of Eq. (11): x is unchanged, but the
+                    # orientation slices regain binary-search-visible width.
+                    alpha = scale * self._unit_rows(alpha)
+                fails = self._radius_indicator_lockstep(self._unit_rows(alpha))
+                new_r, intervals = sample_conditional_batch(
+                    fails, current=r, base=self._chi,
+                    lo=1e-9, hi=self.r_max, rng=rng,
+                    bisect_iters=self.bisect_iters,
+                )
+                r = new_r
+            else:
+                m = coord - 1
+                current = np.clip(alpha[:, m], -self.zeta, self.zeta)
+                fails = self._orientation_indicator_lockstep(r, alpha, m)
+                new_alpha_m, intervals = sample_conditional_batch(
+                    fails, current=current, base=self._normal,
+                    lo=-self.zeta, hi=self.zeta, rng=rng,
+                    bisect_iters=self.alpha_bisect_iters,
+                )
+                alpha[:, m] = new_alpha_m
+            per_chain += intervals.per_chain_simulations
+            widths[:, k] = intervals.widths
+            samples[:, k, :] = r[:, np.newaxis] * self._unit_rows(alpha)
+            coord = (coord + 1) % (self.dimension + 1)
+        return MultiChainGibbs(
+            samples=samples,
+            n_simulations=int(per_chain.sum()),
+            per_chain_simulations=per_chain,
+            interval_widths=widths,
+        )

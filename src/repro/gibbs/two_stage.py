@@ -14,6 +14,16 @@ baselines, the Gibbs chain determines *both the mean and the covariance* of
 ``g_nor``, so the second stage converges with far fewer simulations.
 An optional Gaussian-mixture fit implements the non-Normal extension the
 paper defers to future work (Section IV-C).
+
+With ``n_chains > 1`` the first stage runs the **lockstep multi-chain
+engine**: ``C`` chains start from jittered copies of the Algorithm-4
+minimum-norm point, advance synchronously (each bisection step issues one
+batched metric call across all chains), and all chains' Cartesian samples
+are pooled for the ``g_nor`` fit.  Cross-chain mixing diagnostics
+(split Gelman-Rubin ``R-hat``, pooled ESS) land in
+``extras["chain_diagnostics"]``.  ``n_chains=1`` takes exactly the
+sequential code path, so single-chain results are seed-stable across the
+two engines.
 """
 
 from __future__ import annotations
@@ -23,9 +33,11 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.gibbs.cartesian import CartesianGibbs
+from repro.gibbs.coordinates import initial_spherical_coordinates
 from repro.gibbs.spherical import SphericalGibbs
 from repro.gibbs.starting_point import StartingPoint, find_starting_point
 from repro.mc.counter import CountedMetric
+from repro.mc.diagnostics import diagnose_chains
 from repro.mc.importance import importance_sampling_estimate
 from repro.mc.indicator import FailureSpec
 from repro.mc.results import EstimationResult
@@ -38,12 +50,56 @@ from repro.utils.rng import SeedLike, ensure_rng
 LABELS = {"cartesian": "G-C", "spherical": "G-S"}
 
 
+def _spread_starting_points(
+    metric: Callable,
+    spec: FailureSpec,
+    start: StartingPoint,
+    n_chains: int,
+    rng: np.random.Generator,
+    zeta: float,
+    jitter: float,
+) -> np.ndarray:
+    """Verified failure-region starting points for ``n_chains`` chains.
+
+    Chain 0 keeps the Algorithm-4 minimum-norm point; the others are
+    jittered copies — pushed slightly outward along their own ray and
+    perturbed isotropically — each *verified to fail* before use (batched,
+    one simulation per candidate, charged to the first stage like any other
+    exploration cost).  Candidates that pass are retried with the jitter
+    halved, pulling them back toward the verified point; after a few rounds
+    any still-unplaced chain falls back to an exact copy of the verified
+    start (duplicate starts are harmless — the chains decorrelate through
+    their conditional draws).
+    """
+    points = np.tile(start.x, (n_chains, 1))
+    need = n_chains - 1
+    if need == 0 or jitter <= 0.0:
+        return points
+    dimension = start.x.size
+    radius = max(float(np.linalg.norm(start.x)), 1.0)
+    pending = np.arange(1, n_chains)
+    scale = float(jitter)
+    for _ in range(4):
+        if pending.size == 0:
+            break
+        outward = 1.0 + scale * rng.random((pending.size, 1))
+        noise = scale * radius * rng.standard_normal((pending.size, dimension))
+        candidates = np.clip(start.x * outward + noise, -zeta, zeta)
+        failing = np.asarray(spec.indicator(metric(candidates)), dtype=bool)
+        points[pending[failing]] = candidates[failing]
+        pending = pending[~failing]
+        scale *= 0.5
+    return points
+
+
 def gibbs_importance_sampling(
     metric: Callable,
     spec: FailureSpec,
     dimension: Optional[int] = None,
     coordinate_system: str = "spherical",
     n_gibbs: int = 400,
+    n_chains: int = 1,
+    chain_jitter: float = 0.25,
     n_second_stage: int = 5000,
     rng: SeedLike = None,
     start: Optional[StartingPoint] = None,
@@ -64,7 +120,18 @@ def gibbs_importance_sampling(
     coordinate_system:
         ``"cartesian"`` (Algorithm 1) or ``"spherical"`` (Algorithm 2).
     n_gibbs:
-        K — first-stage Gibbs samples (the paper uses 1e2..1e3).
+        K — first-stage Gibbs samples *per chain* (the paper uses 1e2..1e3).
+    n_chains:
+        C — lockstep chains advanced synchronously in the first stage.
+        The default 1 reproduces the paper's single-chain flow exactly;
+        larger values pool ``C * K`` samples for the ``g_nor`` fit while
+        issuing each bisection step as one batched metric call, which is
+        dramatically faster on a vectorised simulator and explores
+        non-convex failure regions from several footholds at once.
+    chain_jitter:
+        Relative magnitude of the starting-point jitter for chains beyond
+        the first (see ``_spread_starting_points``); 0 starts every chain
+        at the same minimum-norm point.
     n_second_stage:
         N — parametric importance-sampling draws (1e3..1e4).
     start:
@@ -92,6 +159,8 @@ def gibbs_importance_sampling(
             f"coordinate_system must be 'cartesian' or 'spherical', "
             f"got {coordinate_system!r}"
         )
+    if n_chains < 1:
+        raise ValueError(f"n_chains must be positive, got {n_chains}")
     rng = ensure_rng(rng)
     counted = metric if isinstance(metric, CountedMetric) else CountedMetric(
         metric, dimension
@@ -110,15 +179,40 @@ def gibbs_importance_sampling(
         sampler = CartesianGibbs(
             counted, spec, dimension, zeta=zeta, bisect_iters=bisect_iters
         )
-        chain = sampler.run(start.x, n_gibbs, rng)
+        if n_chains == 1:
+            chain = sampler.run(start.x, n_gibbs, rng)
+        else:
+            starts_x = _spread_starting_points(
+                counted, spec, start, n_chains, rng, zeta, chain_jitter
+            )
+            chain = sampler.run_lockstep(
+                starts_x, n_gibbs, rng, verify_start=False
+            )
     else:
         sampler = SphericalGibbs(
             counted, spec, dimension, zeta=zeta, bisect_iters=bisect_iters
         )
-        chain = sampler.run(start.r, start.alpha, n_gibbs, rng)
+        if n_chains == 1:
+            chain = sampler.run(start.r, start.alpha, n_gibbs, rng)
+        else:
+            starts_x = _spread_starting_points(
+                counted, spec, start, n_chains, rng, zeta, chain_jitter
+            )
+            spherical = [
+                initial_spherical_coordinates(point, epsilon)
+                for point in starts_x
+            ]
+            chain = sampler.run_lockstep(
+                np.array([r for r, _ in spherical]),
+                np.vstack([alpha for _, alpha in spherical]),
+                n_gibbs,
+                rng,
+                verify_start=False,
+            )
 
+    fit_samples = chain.samples if n_chains == 1 else chain.pooled_samples
     if proposal_fit == "normal":
-        proposal = MultivariateNormal.fit(chain.samples)
+        proposal = MultivariateNormal.fit(fit_samples)
         if qmc_second_stage:
             proposal = QMCNormal(proposal, seed=int(rng.integers(0, 2**31 - 1)))
     elif proposal_fit == "mixture":
@@ -127,12 +221,18 @@ def gibbs_importance_sampling(
                 "qmc_second_stage is only supported with proposal_fit='normal'"
             )
         proposal = GaussianMixture.fit(
-            chain.samples, n_components=mixture_components, rng=rng
+            fit_samples, n_components=mixture_components, rng=rng
         )
     else:
         raise ValueError(
             f"proposal_fit must be 'normal' or 'mixture', got {proposal_fit!r}"
         )
+
+    extras = {"chain": chain, "starting_point": start}
+    # Split R-hat needs at least 4 samples per chain; for shorter (toy)
+    # runs the estimate is still valid, only the diagnostics are skipped.
+    if n_chains > 1 and n_gibbs >= 4:
+        extras["chain_diagnostics"] = diagnose_chains(chain)
 
     n_first_stage = counted.checkpoint() - stage1_start
     return importance_sampling_estimate(
@@ -144,5 +244,5 @@ def gibbs_importance_sampling(
         rng=rng,
         n_first_stage=n_first_stage,
         store_samples=store_samples,
-        extras={"chain": chain, "starting_point": start},
+        extras=extras,
     )

@@ -9,6 +9,14 @@ second stage of Eqs. (7)/(33) (:mod:`repro.mc.importance`).
 """
 
 from repro.mc.counter import CountedMetric
+from repro.mc.diagnostics import (
+    ChainDiagnostics,
+    WeightDiagnostics,
+    diagnose_chains,
+    diagnose_weights,
+    gelman_rubin,
+    pooled_effective_sample_size,
+)
 from repro.mc.importance import importance_sampling_estimate
 from repro.mc.indicator import FailureSpec
 from repro.mc.montecarlo import brute_force_monte_carlo
@@ -21,4 +29,10 @@ __all__ = [
     "ConvergenceTrace",
     "brute_force_monte_carlo",
     "importance_sampling_estimate",
+    "ChainDiagnostics",
+    "WeightDiagnostics",
+    "diagnose_chains",
+    "diagnose_weights",
+    "gelman_rubin",
+    "pooled_effective_sample_size",
 ]

@@ -39,10 +39,16 @@ class CountedMetric:
         self.metric = metric
         self.dimension = int(dimension)
         self.count = 0
+        #: Number of batched metric invocations (not rows).  ``count`` is
+        #: the paper's cost model; ``calls`` measures how well a sampler
+        #: amortises per-call overhead — the lockstep multi-chain engine
+        #: drives ``count / calls`` up without touching ``count``.
+        self.calls = 0
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         x = as_sample_matrix(x, self.dimension)
         self.count += x.shape[0]
+        self.calls += 1
         return np.asarray(self.metric(x), dtype=float)
 
     def evaluate(self, x: np.ndarray) -> np.ndarray:
@@ -54,6 +60,7 @@ class CountedMetric:
 
     def reset(self) -> None:
         self.count = 0
+        self.calls = 0
 
     def __repr__(self) -> str:
         return f"CountedMetric({self.count} simulations, M={self.dimension})"

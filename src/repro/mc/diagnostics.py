@@ -1,4 +1,4 @@
-"""Importance-sampling weight diagnostics.
+"""Importance-sampling weight and Gibbs-chain mixing diagnostics.
 
 The confidence interval of Eq. (33) assumes the weight population is well
 behaved; in practice a poor proposal shows up as a few gigantic weights
@@ -12,6 +12,15 @@ dominating the sum.  These classic diagnostics quantify that:
 
 They operate on the failing samples' weights only (passing samples carry
 weight zero by construction and say nothing about proposal quality).
+
+The second half of the module diagnoses the *first* stage: with the
+lockstep multi-chain engine several Gibbs chains explore the failure region
+in parallel, and cross-chain statistics reveal what a single chain cannot —
+a Cartesian chain trapped in one arm of a non-convex region (the Fig. 14
+pathology) produces chains that disagree on their means, which the
+split-chain Gelman-Rubin ``R-hat`` flags immediately.  The pooled
+autocorrelation ESS measures how many independent failure-region samples
+the pooled ``g_nor`` fit really rests on.
 """
 
 from __future__ import annotations
@@ -69,4 +78,155 @@ def diagnose_weights(weights: np.ndarray) -> WeightDiagnostics:
         n_weights=int(nonzero.size),
         effective_sample_size=ess,
         max_weight_fraction=float(nonzero.max() / total),
+    )
+
+
+# --------------------------------------------------------------------------
+# Gibbs-chain mixing diagnostics (multi-chain first stage)
+# --------------------------------------------------------------------------
+
+def _chain_tensor(chains) -> np.ndarray:
+    """Coerce a ``(C, K, M)`` array or a MultiChainGibbs-like object."""
+    samples = np.asarray(getattr(chains, "samples", chains), dtype=float)
+    if samples.ndim == 2:
+        samples = samples[np.newaxis, :, :]
+    if samples.ndim != 3:
+        raise ValueError(
+            f"expected a (n_chains, n_samples, dimension) tensor, got shape "
+            f"{samples.shape}"
+        )
+    return samples
+
+
+def gelman_rubin(chains) -> np.ndarray:
+    """Split-chain Gelman-Rubin ``R-hat`` per dimension.
+
+    ``chains`` is a ``(C, K, M)`` sample tensor (or an object exposing one
+    as ``.samples``, e.g. :class:`~repro.gibbs.cartesian.MultiChainGibbs`).
+    Each chain is split in half, so the statistic detects both cross-chain
+    disagreement (chains stuck in different arms of a non-convex failure
+    region) and within-chain drift.  Values near 1 indicate mixing; the
+    conventional alarm threshold is 1.1.
+    """
+    samples = _chain_tensor(chains)
+    n_chains, n_samples, _ = samples.shape
+    if n_samples < 4:
+        raise ValueError(
+            f"need at least 4 samples per chain for split R-hat, got {n_samples}"
+        )
+    half = n_samples // 2
+    split = np.concatenate(
+        [samples[:, :half], samples[:, n_samples - half:]], axis=0
+    )
+    n = half
+    means = split.mean(axis=1)
+    within = split.var(axis=1, ddof=1).mean(axis=0)
+    between_over_n = means.var(axis=0, ddof=1)
+    var_plus = (n - 1) / n * within + between_over_n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rhat = np.sqrt(var_plus / within)
+    # Degenerate chains: zero within-variance means either perfect agreement
+    # (R-hat = 1) or frozen chains stuck at distinct points (R-hat = inf).
+    rhat = np.where(
+        within > 0.0, rhat, np.where(between_over_n > 0.0, np.inf, 1.0)
+    )
+    return rhat
+
+
+def _ess_1d(x: np.ndarray) -> float:
+    """Autocorrelation ESS of one scalar quantity across chains ``(C, K)``."""
+    n_chains, n_samples = x.shape
+    total = n_chains * n_samples
+    centered = x - x.mean(axis=1, keepdims=True)
+    within = float((centered ** 2).sum() / (n_chains * (n_samples - 1)))
+    between_over_n = (
+        float(x.mean(axis=1).var(ddof=1)) if n_chains > 1 else 0.0
+    )
+    var_plus = (n_samples - 1) / n_samples * within + between_over_n
+    if var_plus <= 0.0:
+        return float(total)
+    # Chain-averaged autocovariance (biased, as in the standard estimator).
+    acov = np.zeros(n_samples)
+    for c in range(n_chains):
+        full = np.correlate(centered[c], centered[c], mode="full")
+        acov += full[n_samples - 1:] / n_samples
+    acov /= n_chains
+    rho = 1.0 - (within - acov) / var_plus
+    # Geyer initial monotone positive sequence over lag pairs.
+    tau = -1.0
+    prev_pair = np.inf
+    for t in range(n_samples // 2):
+        pair = rho[2 * t] + (rho[2 * t + 1] if 2 * t + 1 < n_samples else 0.0)
+        if pair <= 0.0:
+            break
+        pair = min(pair, prev_pair)
+        tau += 2.0 * pair
+        prev_pair = pair
+    return float(min(total / max(tau, 1e-12), total))
+
+
+def pooled_effective_sample_size(chains) -> np.ndarray:
+    """Autocorrelation-based ESS of the pooled chains, per dimension.
+
+    How many *independent* draws from ``g_opt`` the ``C * K`` pooled Gibbs
+    samples are worth — the quantity that actually controls the quality of
+    the Algorithm-5 ``g_nor`` fit.  Between-chain disagreement deflates the
+    estimate through the ``var_plus`` term, so a trapped chain cannot
+    masquerade as extra information.
+    """
+    samples = _chain_tensor(chains)
+    if samples.shape[1] < 4:
+        raise ValueError(
+            f"need at least 4 samples per chain, got {samples.shape[1]}"
+        )
+    return np.array(
+        [_ess_1d(samples[:, :, d]) for d in range(samples.shape[2])]
+    )
+
+
+@dataclass(frozen=True)
+class ChainDiagnostics:
+    """Cross-chain mixing summary of a (multi-chain) Gibbs first stage."""
+
+    n_chains: int
+    n_samples_per_chain: int
+    rhat: np.ndarray
+    effective_sample_size: np.ndarray
+
+    @property
+    def max_rhat(self) -> float:
+        return float(np.max(self.rhat))
+
+    @property
+    def min_ess(self) -> float:
+        return float(np.min(self.effective_sample_size))
+
+    @property
+    def mixed(self) -> bool:
+        """Conventional verdict: every dimension's split R-hat below 1.1."""
+        return bool(self.max_rhat < 1.1)
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_chains} chain(s) x {self.n_samples_per_chain} samples: "
+            f"max R-hat = {self.max_rhat:.3f}, min pooled ESS = "
+            f"{self.min_ess:.0f} -> "
+            f"{'mixed' if self.mixed else 'NOT MIXED (R-hat >= 1.1)'}"
+        )
+
+
+def diagnose_chains(chains) -> ChainDiagnostics:
+    """Compute :class:`ChainDiagnostics` for a ``(C, K, M)`` sample tensor.
+
+    Accepts the tensor directly or any object exposing it as ``.samples``
+    (a :class:`~repro.gibbs.cartesian.MultiChainGibbs`); a single ``(K, M)``
+    chain is promoted to ``C = 1``, where R-hat still carries information
+    through the split halves.
+    """
+    samples = _chain_tensor(chains)
+    return ChainDiagnostics(
+        n_chains=samples.shape[0],
+        n_samples_per_chain=samples.shape[1],
+        rhat=gelman_rubin(samples),
+        effective_sample_size=pooled_effective_sample_size(samples),
     )

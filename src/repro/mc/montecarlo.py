@@ -40,8 +40,15 @@ def brute_force_monte_carlo(
     dimension = dimension if dimension is not None else getattr(metric, "dimension")
     rng = ensure_rng(rng)
 
+    # Clamp the log-spaced checkpoint grid to [1, n_samples]: for tiny runs
+    # (n_samples < 10) a naive geomspace would start above n_samples and
+    # produce checkpoints that can never be recorded.
     checkpoints = np.unique(
-        np.geomspace(10, n_samples, trace_points).astype(int)
+        np.clip(
+            np.geomspace(min(10, n_samples), n_samples, trace_points).astype(int),
+            1,
+            n_samples,
+        )
     )
     trace_n, trace_est, trace_rel = [], [], []
 

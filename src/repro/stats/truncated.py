@@ -14,7 +14,7 @@ from repro.utils.rng import SeedLike, ensure_rng
 
 
 class TruncatedDistribution:
-    """A base 1-D law restricted to a closed interval ``[lower, upper]``.
+    """A base 1-D law restricted to closed interval(s) ``[lower, upper]``.
 
     Parameters
     ----------
@@ -23,36 +23,49 @@ class TruncatedDistribution:
         practice :class:`~repro.stats.distributions.StandardNormal` or
         :class:`~repro.stats.distributions.ChiDistribution`.
     lower, upper:
-        Truncation interval.  Must overlap the base support and satisfy
-        ``lower < upper``; an interval of zero probability mass is rejected
-        because sampling it would be ill-defined.
+        Truncation interval.  Scalars give the classic single-interval law;
+        equally-shaped arrays give a *batch* of truncated laws sharing one
+        base (the lockstep multi-chain engine truncates every chain's
+        conditional in one object).  Each interval must overlap the base
+        support and satisfy ``lower < upper``; an interval of zero
+        probability mass is rejected because sampling it would be
+        ill-defined.
     """
 
-    def __init__(self, base, lower: float, upper: float):
+    def __init__(self, base, lower, upper):
         lo_support, hi_support = base.support
-        lower = float(max(lower, lo_support))
-        upper = float(min(upper, hi_support))
-        if not lower < upper:
+        lower = np.asarray(lower, dtype=float)
+        upper = np.asarray(upper, dtype=float)
+        scalar = lower.ndim == 0 and upper.ndim == 0
+        lower = np.maximum(lower, lo_support)
+        upper = np.minimum(upper, hi_support)
+        if not np.all(lower < upper):
             raise ValueError(
                 f"truncation interval [{lower}, {upper}] is empty or inverted"
             )
-        cdf_lo = float(base.cdf(lower))
-        cdf_hi = float(base.cdf(upper))
+        cdf_lo = np.asarray(base.cdf(lower), dtype=float)
+        cdf_hi = np.asarray(base.cdf(upper), dtype=float)
         mass = cdf_hi - cdf_lo
-        if mass <= 0.0:
+        if not np.all(mass > 0.0):
             raise ValueError(
                 f"interval [{lower}, {upper}] carries zero probability mass "
                 f"under {type(base).__name__}"
             )
         self.base = base
-        self.lower = lower
-        self.upper = upper
-        self._cdf_lo = cdf_lo
-        self._cdf_hi = cdf_hi
-        self.mass = mass
+        self.batch_shape = () if scalar else lower.shape
+        self.lower = float(lower) if scalar else lower
+        self.upper = float(upper) if scalar else upper
+        self._cdf_lo = float(cdf_lo) if scalar else cdf_lo
+        self._cdf_hi = float(cdf_hi) if scalar else cdf_hi
+        self.mass = float(mass) if scalar else mass
 
     def sample(self, rng: SeedLike = None, size=None) -> np.ndarray:
-        """Draw samples via inverse transform; always inside ``[lower, upper]``."""
+        """Draw samples via inverse transform; always inside ``[lower, upper]``.
+
+        With array bounds and ``size=None`` one draw is made *per interval*
+        (shape ``batch_shape``); an explicit ``size`` must broadcast against
+        the bounds.
+        """
         rng = ensure_rng(rng)
         u = rng.uniform(self._cdf_lo, self._cdf_hi, size)
         draw = self.base.ppf(u)
@@ -64,9 +77,7 @@ class TruncatedDistribution:
         """Renormalised density: base pdf / mass inside, zero outside."""
         x = np.asarray(x, dtype=float)
         inside = (x >= self.lower) & (x <= self.upper)
-        out = np.zeros_like(x)
-        out[inside] = self.base.pdf(x[inside]) / self.mass
-        return out
+        return np.where(inside, self.base.pdf(x) / self.mass, 0.0)
 
     def cdf(self, x) -> np.ndarray:
         x = np.asarray(x, dtype=float)
@@ -74,6 +85,11 @@ class TruncatedDistribution:
         return np.clip(raw, 0.0, 1.0)
 
     def __repr__(self) -> str:
+        if self.batch_shape:
+            return (
+                f"TruncatedDistribution({type(self.base).__name__}, "
+                f"batch of {int(np.prod(self.batch_shape))} intervals)"
+            )
         return (
             f"TruncatedDistribution({type(self.base).__name__}, "
             f"[{self.lower:.6g}, {self.upper:.6g}], mass={self.mass:.3e})"

@@ -136,3 +136,35 @@ class TestBistable:
         s1 = solve_dc(c, {"vdd": 1.2}, initial={"q": 1.2, "qb": 0.0})
         assert s0.voltage("q") < 0.05 and s0.voltage("qb") > 1.15
         assert s1.voltage("q") > 1.15 and s1.voltage("qb") < 0.05
+
+
+class TestIterationAccounting:
+    """``DCSolution.iterations`` must report Newton steps actually executed,
+    not the ``max_iterations`` cap (regression: the solver used to charge
+    the full cap to every solve)."""
+
+    def test_linear_circuit_converges_in_few_iterations(self):
+        c = Circuit()
+        c.add_resistor("r1", 1000.0, "vdd", "mid")
+        c.add_resistor("r2", 3000.0, "mid", "0")
+        sol = solve_dc(c, {"vdd": 4.0}, max_iterations=120)
+        assert sol.converged
+        assert 0 < sol.iterations < 10
+
+    def test_inverter_iterations_below_cap(self):
+        sol = solve_dc(inverter(), {"vdd": 1.2, "in": 0.6}, max_iterations=120)
+        assert sol.converged
+        assert 0 < sol.iterations < 120
+
+    def test_batched_solve_counts_longest_member(self):
+        c = inverter()
+        vin = np.linspace(0, 1.2, 9)
+        sol = solve_dc(c, {"vdd": 1.2, "in": vin}, max_iterations=120)
+        assert np.all(sol.converged)
+        assert 0 < sol.iterations < 120
+
+    def test_no_free_nodes_zero_iterations(self):
+        c = Circuit()
+        c.add_resistor("r1", 1000.0, "a", "0")
+        sol = solve_dc(c, {"a": 1.0})
+        assert sol.iterations == 0

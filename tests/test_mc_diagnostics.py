@@ -68,3 +68,104 @@ class TestDiagnoseWeights:
             w = importance_weights(x, fail, proposal, nominal)
             out[label] = diagnose_weights(w)
         assert out["good"].efficiency > out["bad"].efficiency
+
+
+class TestGelmanRubin:
+    def test_iid_chains_near_one(self, rng):
+        from repro.mc.diagnostics import gelman_rubin
+
+        chains = rng.standard_normal((4, 400, 3))
+        rhat = gelman_rubin(chains)
+        assert rhat.shape == (3,)
+        assert np.all(rhat < 1.05)
+
+    def test_separated_chains_flagged(self, rng):
+        from repro.mc.diagnostics import gelman_rubin
+
+        chains = rng.standard_normal((2, 200, 1))
+        chains[1] += 10.0  # stuck in a different arm of the region
+        assert gelman_rubin(chains)[0] > 2.0
+
+    def test_frozen_identical_chains(self):
+        from repro.mc.diagnostics import gelman_rubin
+
+        chains = np.ones((3, 10, 2))
+        assert np.all(gelman_rubin(chains) == 1.0)
+
+    def test_frozen_distinct_chains_infinite(self):
+        from repro.mc.diagnostics import gelman_rubin
+
+        chains = np.ones((2, 10, 1))
+        chains[1] *= 2.0
+        assert np.isinf(gelman_rubin(chains)[0])
+
+    def test_accepts_chain_object_and_2d(self, rng):
+        from repro.mc.diagnostics import gelman_rubin
+
+        samples = rng.standard_normal((4, 120, 2))
+
+        class Wrapper:
+            pass
+
+        w = Wrapper()
+        w.samples = samples
+        assert np.array_equal(gelman_rubin(w), gelman_rubin(samples))
+        single = gelman_rubin(samples[0])  # (K, M) promoted to C = 1
+        assert single.shape == (2,)
+
+    def test_too_few_samples_raises(self, rng):
+        from repro.mc.diagnostics import gelman_rubin
+
+        with pytest.raises(ValueError, match="at least 4"):
+            gelman_rubin(rng.standard_normal((2, 3, 1)))
+
+
+class TestPooledEss:
+    def test_iid_chains_near_total(self, rng):
+        from repro.mc.diagnostics import pooled_effective_sample_size
+
+        chains = rng.standard_normal((4, 300, 2))
+        ess = pooled_effective_sample_size(chains)
+        assert np.all(ess > 0.5 * 1200)
+        assert np.all(ess <= 1200)
+
+    def test_autocorrelated_chain_deflated(self, rng):
+        from repro.mc.diagnostics import pooled_effective_sample_size
+
+        walk = np.cumsum(rng.standard_normal((2, 500, 1)), axis=1)
+        ess = pooled_effective_sample_size(walk)
+        assert ess[0] < 0.1 * 1000  # random walk: almost no independent info
+
+    def test_disagreeing_chains_deflated(self, rng):
+        from repro.mc.diagnostics import pooled_effective_sample_size
+
+        chains = 0.1 * rng.standard_normal((2, 200, 1))
+        chains[1] += 5.0
+        ess = pooled_effective_sample_size(chains)
+        assert ess[0] < 0.25 * 400
+
+
+class TestDiagnoseChains:
+    def test_summary_verdicts(self, rng):
+        from repro.mc.diagnostics import diagnose_chains
+
+        mixed = diagnose_chains(rng.standard_normal((4, 400, 2)))
+        assert mixed.mixed
+        assert "mixed" in mixed.summary()
+
+        stuck_samples = rng.standard_normal((2, 200, 1))
+        stuck_samples[1] += 10.0
+        stuck = diagnose_chains(stuck_samples)
+        assert not stuck.mixed
+        assert "NOT MIXED" in stuck.summary()
+
+    def test_fields(self, rng):
+        from repro.mc.diagnostics import diagnose_chains
+
+        d = diagnose_chains(rng.standard_normal((3, 100, 4)))
+        assert d.n_chains == 3
+        assert d.n_samples_per_chain == 100
+        assert d.rhat.shape == (4,)
+        assert d.effective_sample_size.shape == (4,)
+        assert d.max_rhat == np.max(d.rhat)
+        assert d.min_ess == np.min(d.effective_sample_size)

@@ -148,3 +148,26 @@ class TestImportanceSamplingEstimate:
             CountedMetric(metric, 1), FailureSpec(0.0), bad, 2000, rng=rng
         )
         assert r_good.relative_error < r_bad.relative_error
+
+
+class TestTinyRunTrace:
+    """Trace checkpoints must stay within [1, n_samples] even when the run
+    is smaller than the default first checkpoint (regression: geomspace
+    used to start at 10 and tiny runs produced an empty/invalid trace)."""
+
+    def test_trace_recorded_for_tiny_runs(self, rng):
+        metric = QuadrantMetric(np.zeros(2))
+        for n in (1, 2, 5, 9):
+            result = brute_force_monte_carlo(
+                metric, FailureSpec(0.0), n_samples=n, rng=rng
+            )
+            trace = result.trace
+            assert trace.n_samples.size >= 1
+            assert trace.n_samples.min() >= 1
+            assert trace.n_samples.max() == n
+            assert np.all(np.diff(trace.n_samples) > 0)
+
+    def test_final_trace_point_matches_estimate(self, rng):
+        metric = QuadrantMetric(np.zeros(2))
+        result = brute_force_monte_carlo(metric, FailureSpec(0.0), n_samples=7, rng=rng)
+        assert result.trace.estimate[-1] == result.failure_probability
