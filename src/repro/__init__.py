@@ -31,6 +31,7 @@ from repro.analysis import (
     format_table,
     map_failure_region,
     run_method,
+    run_trials,
     sims_to_target_error,
 )
 from repro.baselines import (
@@ -63,6 +64,7 @@ from repro.sram import (
     write_noise_margin_problem,
     write_time_problem,
 )
+from repro.parallel import ParallelExecutor
 from repro.stats import MultivariateNormal, PCAWhitener
 from repro.synthetic import (
     AnnularArcMetric,
@@ -108,10 +110,13 @@ __all__ = [
     "QuadrantMetric",
     "SphereTailMetric",
     "AnnularArcMetric",
+    # parallel execution layer
+    "ParallelExecutor",
     # analysis harness
     "METHODS",
     "run_method",
     "compare_methods",
+    "run_trials",
     "sims_to_target_error",
     "map_failure_region",
     "format_table",

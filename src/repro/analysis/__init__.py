@@ -12,6 +12,7 @@ from repro.analysis.experiments import (
     METHODS,
     compare_methods,
     run_method,
+    run_trials,
     sims_to_target_error,
 )
 from repro.analysis.region import map_failure_region, uniform_failure_samples
@@ -29,6 +30,7 @@ __all__ = [
     "check_agreement",
     "run_method",
     "compare_methods",
+    "run_trials",
     "sims_to_target_error",
     "map_failure_region",
     "uniform_failure_samples",

@@ -3,14 +3,22 @@
 ``run_method`` provides one uniform entry point for all five estimators
 (MIS, MNIS, G-C, G-S, brute-force MC) on any problem object exposing
 ``metric`` / ``spec`` / ``dimension``; ``compare_methods`` runs a panel of
-them on independent random streams; ``sims_to_target_error`` reproduces the
-Table-I question — how many second-stage simulations until the 99%-CI
-relative error stays below a target.
+them on independent random streams; ``run_trials`` repeats one method over
+independent streams for trial statistics; ``sims_to_target_error``
+reproduces the Table-I question — how many second-stage simulations until
+the 99%-CI relative error stays below a target.
+
+Panels and trial batteries are embarrassingly parallel — every entry owns
+its spawn-indexed child stream — so both fan out across cores through
+:class:`repro.parallel.ParallelExecutor` when ``n_workers`` is given.  The
+streams are the same ones the serial loop would use, so parallel panels
+return bit-identical results to serial ones.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -20,7 +28,8 @@ from repro.gibbs.two_stage import gibbs_importance_sampling
 from repro.mc.counter import CountedMetric
 from repro.mc.montecarlo import brute_force_monte_carlo
 from repro.mc.results import EstimationResult
-from repro.utils.rng import SeedLike, spawn_rngs
+from repro.parallel.executor import ParallelExecutor, resolve_executor
+from repro.utils.rng import SeedLike, spawn_rngs, spawn_seed_sequences
 
 #: Canonical method labels, in the paper's presentation order.
 METHODS = ("MIS", "MNIS", "G-C", "G-S")
@@ -35,6 +44,8 @@ def run_method(
     doe_budget: Optional[int] = None,
     n_exploration: int = 5000,
     store_samples: bool = False,
+    n_workers: Optional[int] = None,
+    backend: str = "process",
     **kwargs,
 ) -> EstimationResult:
     """Run one named method on a problem.
@@ -51,6 +62,10 @@ def run_method(
         Surrogate budget for MNIS and the Gibbs starting point.
     n_exploration:
         Uniform exploration budget for MIS.
+    n_workers:
+        Shard the method's sampling stage (the second stage for the IS
+        methods, the whole run for "MC") across this many workers on
+        ``backend``; ``None`` keeps the serial paths.
     kwargs:
         Forwarded to the method implementation (e.g. ``bisect_iters``,
         ``proposal_fit``, ``lambda_original``).
@@ -61,14 +76,16 @@ def run_method(
             metric, problem.spec,
             n_first_stage=n_exploration,
             n_second_stage=n_second_stage,
-            rng=rng, store_samples=store_samples, **kwargs,
+            rng=rng, store_samples=store_samples,
+            n_workers=n_workers, backend=backend, **kwargs,
         )
     if name == "MNIS":
         return minimum_norm_importance_sampling(
             metric, problem.spec,
             n_first_stage=doe_budget or 1000,
             n_second_stage=n_second_stage,
-            rng=rng, store_samples=store_samples, **kwargs,
+            rng=rng, store_samples=store_samples,
+            n_workers=n_workers, backend=backend, **kwargs,
         )
     if name in ("G-C", "G-S"):
         system = "cartesian" if name == "G-C" else "spherical"
@@ -78,26 +95,61 @@ def run_method(
             n_gibbs=n_gibbs,
             n_second_stage=n_second_stage,
             doe_budget=doe_budget,
-            rng=rng, store_samples=store_samples, **kwargs,
+            rng=rng, store_samples=store_samples,
+            n_workers=n_workers, backend=backend, **kwargs,
         )
     if name == "MC":
         return brute_force_monte_carlo(
-            metric, problem.spec, n_second_stage, rng=rng, **kwargs
+            metric, problem.spec, n_second_stage, rng=rng,
+            n_workers=n_workers, backend=backend, **kwargs
         )
     raise ValueError(f"unknown method {name!r}; choose from {METHODS + ('MC',)}")
+
+
+@dataclass
+class _MethodTask:
+    """Picklable unit of panel/trial work for the parallel layer."""
+
+    name: str
+    problem: object
+    seed: np.random.SeedSequence
+    run_kwargs: dict = field(default_factory=dict)
+
+
+def _run_method_task(task: _MethodTask) -> EstimationResult:
+    """Spawn-safe worker: run one method on its own child stream."""
+    return run_method(
+        task.name, task.problem, rng=np.random.default_rng(task.seed),
+        **task.run_kwargs,
+    )
 
 
 def compare_methods(
     problem,
     methods: Sequence[str] = METHODS,
     seed: SeedLike = 0,
+    n_workers: Optional[int] = None,
+    backend: str = "process",
+    executor: Optional[ParallelExecutor] = None,
     **run_kwargs,
 ) -> Dict[str, EstimationResult]:
     """Run several methods on independent random streams.
 
     Each method receives its own child generator spawned from ``seed``, so
-    adding or removing a method never perturbs the others' draws.
+    adding or removing a method never perturbs the others' draws.  With
+    ``n_workers`` set, the panel entries run concurrently — on the exact
+    streams the serial loop would use, so the results are identical; only
+    the wall-clock changes.
     """
+    pool = resolve_executor(executor, n_workers, backend)
+    if pool is not None:
+        seeds = spawn_seed_sequences(seed, len(methods))
+        tasks = [
+            _MethodTask(name, problem, child, dict(run_kwargs))
+            for name, child in zip(methods, seeds)
+        ]
+        outcomes = pool.map(_run_method_task, tasks)
+        return dict(zip(methods, outcomes))
     rngs = spawn_rngs(seed, len(methods))
     results = {}
     for method, rng in zip(methods, rngs):
@@ -105,8 +157,55 @@ def compare_methods(
     return results
 
 
+def run_trials(
+    problem,
+    method: str,
+    n_trials: int,
+    seed: SeedLike = 0,
+    n_workers: Optional[int] = None,
+    backend: str = "process",
+    executor: Optional[ParallelExecutor] = None,
+    **run_kwargs,
+) -> List[EstimationResult]:
+    """Repeat one method over ``n_trials`` independent streams.
+
+    The trial battery behind spread/percentile statistics (e.g. the
+    repeated-run dispersion behind Table I): trial *i* always draws from
+    the child stream at spawn index *i*, so a fixed ``(seed, n_trials)``
+    returns the same list for any worker count and backend.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    pool = resolve_executor(executor, n_workers, backend)
+    seeds = spawn_seed_sequences(seed, n_trials)
+    if pool is not None:
+        tasks = [
+            _MethodTask(method, problem, child, dict(run_kwargs))
+            for child in seeds
+        ]
+        return pool.map(_run_method_task, tasks)
+    return [
+        run_method(
+            method, problem, rng=np.random.default_rng(child), **run_kwargs
+        )
+        for child in seeds
+    ]
+
+
+ResultOrTrials = Union[EstimationResult, Sequence[EstimationResult]]
+
+
+def _sims_row(result: EstimationResult, target: float) -> Dict[str, Optional[int]]:
+    n2 = result.trace.samples_to_error(target) if result.trace else None
+    return {
+        "first_stage": result.n_first_stage,
+        "second_stage": n2,
+        "total": (result.n_first_stage + n2) if n2 is not None else None,
+    }
+
+
 def sims_to_target_error(
-    results: Dict[str, EstimationResult],
+    results: Dict[str, ResultOrTrials],
     target: float = 0.05,
 ) -> Dict[str, Dict[str, Optional[int]]]:
     """Table-I rows: simulations needed per stage to reach ``target`` error.
@@ -114,15 +213,36 @@ def sims_to_target_error(
     Works on results whose traces cover enough second-stage samples; a
     method whose trace never stabilises below the target gets
     ``second_stage=None`` (reported as "not reached").
+
+    A value may also be a *sequence* of repeated trials (from
+    :func:`run_trials`): the row then reports the median over the trials
+    that reached the target, plus ``n_trials`` / ``n_reached`` accounting,
+    with ``second_stage=None`` when fewer than half the trials converged.
     """
     rows = {}
     for name, result in results.items():
-        n2 = result.trace.samples_to_error(target) if result.trace else None
-        rows[name] = {
-            "first_stage": result.n_first_stage,
-            "second_stage": n2,
-            "total": (result.n_first_stage + n2) if n2 is not None else None,
+        if isinstance(result, EstimationResult):
+            rows[name] = _sims_row(result, target)
+            continue
+        trials = list(result)
+        per_trial = [_sims_row(trial, target) for trial in trials]
+        reached = [row for row in per_trial if row["second_stage"] is not None]
+        row: Dict[str, Optional[int]] = {
+            "first_stage": int(
+                np.median([r["first_stage"] for r in per_trial])
+            ),
+            "n_trials": len(per_trial),
+            "n_reached": len(reached),
         }
+        if 2 * len(reached) >= len(per_trial):
+            row["second_stage"] = int(
+                np.median([r["second_stage"] for r in reached])
+            )
+            row["total"] = int(np.median([r["total"] for r in reached]))
+        else:
+            row["second_stage"] = None
+            row["total"] = None
+        rows[name] = row
     return rows
 
 

@@ -117,12 +117,17 @@ def mixture_importance_sampling(
     lambda_original: float = 0.1,
     lambda_uniform: float = 0.0,
     store_samples: bool = False,
+    n_workers=None,
+    backend: str = "process",
 ) -> EstimationResult:
     """Run the full MIS flow and return its estimate.
 
     Raises ``RuntimeError`` if the exploration stage finds no failing
     sample — with the default 5000-point cube this means the failure region
     is outside ``[-s, +s]^M`` or vanishingly thin.
+
+    ``n_workers``/``backend`` shard the second stage across cores (see
+    :func:`repro.mc.importance.importance_sampling_estimate`).
     """
     rng = ensure_rng(rng)
     counted = metric if isinstance(metric, CountedMetric) else CountedMetric(
@@ -156,4 +161,6 @@ def mixture_importance_sampling(
         n_first_stage=n_stage1,
         store_samples=store_samples,
         extras={"shift": centre_of_gravity, "n_exploration_failures": int(failing.sum())},
+        n_workers=n_workers,
+        backend=backend,
     )

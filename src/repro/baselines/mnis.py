@@ -37,11 +37,15 @@ def minimum_norm_importance_sampling(
     surrogate_order: str = "quadratic",
     zeta: float = 8.0,
     store_samples: bool = False,
+    n_workers=None,
+    backend: str = "process",
 ) -> EstimationResult:
     """Run the full MNIS flow and return its estimate.
 
     ``n_first_stage`` is the norm-minimisation budget (DOE plus
     verification walks); the proposal is ``N(x*, I)``.
+    ``n_workers``/``backend`` shard the second stage across cores (see
+    :func:`repro.mc.importance.importance_sampling_estimate`).
     """
     rng = ensure_rng(rng)
     counted = metric if isinstance(metric, CountedMetric) else CountedMetric(
@@ -68,4 +72,6 @@ def minimum_norm_importance_sampling(
         n_first_stage=n_stage1,
         store_samples=store_samples,
         extras={"minimum_norm_point": start.x, "starting_point": start},
+        n_workers=n_workers,
+        backend=backend,
     )

@@ -61,6 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="first-stage Gibbs samples K")
         p.add_argument("--doe-budget", type=int, default=None,
                        help="surrogate/DOE simulation budget")
+        p.add_argument("--workers", type=int, default=None,
+                       help="shard the sampling across this many worker "
+                            "processes (default: serial); results depend "
+                            "on the seed only, not the worker count")
 
     est = sub.add_parser("estimate", help="run one estimation method")
     add_common(est)
@@ -89,7 +93,7 @@ def _cmd_estimate(args) -> int:
     result = run_method(
         args.method, problem, rng=args.seed,
         n_second_stage=args.n_second, n_gibbs=args.n_gibbs,
-        doe_budget=args.doe_budget,
+        doe_budget=args.doe_budget, n_workers=args.workers,
     )
     print(result.summary())
     chain = result.extras.get("chain")
@@ -106,6 +110,7 @@ def _cmd_compare(args) -> int:
     print(f"problem: {problem.description}")
     results = compare_methods(
         problem, methods=tuple(args.methods), seed=args.seed,
+        n_workers=args.workers,
         n_second_stage=args.n_second, n_gibbs=args.n_gibbs,
         doe_budget=args.doe_budget,
     )

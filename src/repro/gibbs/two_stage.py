@@ -112,6 +112,8 @@ def gibbs_importance_sampling(
     mixture_components: int = 3,
     qmc_second_stage: bool = False,
     store_samples: bool = False,
+    n_workers: Optional[int] = None,
+    backend: str = "process",
 ) -> EstimationResult:
     """Run the full G-C / G-S failure-rate prediction flow.
 
@@ -147,6 +149,10 @@ def gibbs_importance_sampling(
     store_samples:
         Keep second-stage samples and pass/fail labels in ``extras`` for
         the scatter-plot reproductions.
+    n_workers:
+        Shard the second stage across cores (see
+        :func:`repro.mc.importance.importance_sampling_estimate`); the
+        first-stage chain remains sequential by construction.
 
     Returns
     -------
@@ -245,4 +251,6 @@ def gibbs_importance_sampling(
         n_first_stage=n_first_stage,
         store_samples=store_samples,
         extras=extras,
+        n_workers=n_workers,
+        backend=backend,
     )

@@ -54,6 +54,22 @@ class CountedMetric:
     def evaluate(self, x: np.ndarray) -> np.ndarray:
         return self(x)
 
+    def add_external(self, n: int, calls: int = 0) -> None:
+        """Fold in ``n`` simulations evaluated outside this instance.
+
+        Worker processes of the parallel execution layer evaluate through
+        pickled *copies* of the metric, so their counts never reach the
+        parent's instrument on their own; each shard result carries its
+        local tally home and the parent folds it in here, keeping
+        first/second-stage accounting exact across process boundaries.
+        """
+        if n < 0 or calls < 0:
+            raise ValueError(
+                f"external counts must be non-negative, got n={n}, calls={calls}"
+            )
+        self.count += int(n)
+        self.calls += int(calls)
+
     def checkpoint(self) -> int:
         """Current count, for before/after accounting of one flow stage."""
         return self.count

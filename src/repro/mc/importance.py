@@ -21,9 +21,12 @@ import numpy as np
 
 from repro.mc.indicator import FailureSpec
 from repro.mc.results import ConvergenceTrace, EstimationResult
+from repro.parallel.executor import ParallelExecutor, resolve_executor
+from repro.parallel.sharding import plan_shards
+from repro.parallel.workers import ISShardTask, fold_external_counts, run_is_shard
 from repro.stats.confidence import relative_error
 from repro.stats.mvnormal import MultivariateNormal
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import SeedLike, ensure_rng, spawn_seed_sequences
 
 
 def importance_weights(
@@ -46,6 +49,52 @@ def importance_weights(
     return weights
 
 
+def _sharded_second_stage(
+    metric: Callable,
+    spec: FailureSpec,
+    proposal,
+    nominal,
+    n_samples: int,
+    seed: SeedLike,
+    executor: ParallelExecutor,
+    shard_size: int,
+    store_samples: bool,
+):
+    """Fan the second stage out in shards; merge weights in sample order.
+
+    The shard grid depends on ``n_samples`` and ``shard_size`` only and
+    every shard owns the child stream at its spawn index, so the merged
+    weight vector — and everything derived from it — is bit-identical for
+    any worker count and backend.
+    """
+    shards = plan_shards(n_samples, shard_size)
+    seeds = spawn_seed_sequences(seed, len(shards))
+    tasks = [
+        ISShardTask(
+            shard=shard,
+            seed=child,
+            metric=metric,
+            spec=spec,
+            proposal=proposal,
+            nominal=nominal,
+            store_samples=store_samples,
+        )
+        for shard, child in zip(shards, seeds)
+    ]
+    results = executor.map(run_is_shard, tasks)
+    fold_external_counts(metric, executor, results)
+    results.sort(key=lambda r: r.index)
+    weights = np.concatenate([r.weights for r in results])
+    fail = (
+        np.concatenate([r.failed for r in results]) if store_samples else None
+    )
+    x = (
+        np.concatenate([r.samples for r in results]) if store_samples else None
+    )
+    n_failures = sum(r.n_failures for r in results)
+    return weights, x, fail, n_failures
+
+
 def importance_sampling_estimate(
     metric: Callable,
     spec: FailureSpec,
@@ -58,6 +107,10 @@ def importance_sampling_estimate(
     store_samples: bool = False,
     trace_points: int = 200,
     extras: Optional[dict] = None,
+    n_workers: Optional[int] = None,
+    backend: str = "process",
+    shard_size: int = 8192,
+    executor: Optional[ParallelExecutor] = None,
 ) -> EstimationResult:
     """Run the second stage: sample ``proposal``, weight, estimate.
 
@@ -76,21 +129,38 @@ def importance_sampling_estimate(
         Keep the drawn samples and their pass/fail labels in
         ``result.extras`` (used by the scatter-plot reproductions of
         Figs. 8-11 and 13).
+    n_workers:
+        ``None`` (default) keeps the historical single-stream path.  Any
+        integer shards the second stage into ``shard_size``-sample slices
+        with per-shard child streams, run ``n_workers`` at a time on
+        ``backend``; the estimate is then a function of the seed and the
+        shard grid only, identical for every worker count and backend.
+    executor:
+        Prebuilt :class:`~repro.parallel.ParallelExecutor`; overrides
+        ``n_workers``/``backend``.
     """
     if n_samples < 2:
         raise ValueError(f"n_samples must be >= 2, got {n_samples}")
-    rng = ensure_rng(rng)
     dimension = getattr(proposal, "dimension", None) or getattr(metric, "dimension")
     if nominal is None:
         nominal = MultivariateNormal.standard(dimension)
 
-    x = proposal.sample(n_samples, rng)
-    fail = spec.indicator(metric(x))
-    weights = importance_weights(x, fail, proposal, nominal)
+    pool = resolve_executor(executor, n_workers, backend)
+    if pool is not None:
+        weights, x, fail, n_failures = _sharded_second_stage(
+            metric, spec, proposal, nominal, n_samples, rng, pool,
+            int(shard_size), store_samples,
+        )
+    else:
+        rng = ensure_rng(rng)
+        x = proposal.sample(n_samples, rng)
+        fail = spec.indicator(metric(x))
+        weights = importance_weights(x, fail, proposal, nominal)
+        n_failures = int(fail.sum())
 
     result_extras = dict(extras or {})
     result_extras["proposal"] = proposal
-    result_extras["n_failures"] = int(fail.sum())
+    result_extras["n_failures"] = int(n_failures)
     if store_samples:
         result_extras["samples"] = x
         result_extras["failed"] = fail

@@ -6,6 +6,13 @@ rates — which is the paper's premise — but indispensable as the golden
 reference of Table II, where 8.7 million raw samples validate the
 importance-sampling methods.  Evaluation streams in chunks so the memory
 footprint stays flat no matter how many samples are requested.
+
+With ``n_workers`` set, the workload is split into a fixed grid of shards
+(one child RNG stream per shard, spawned from a single seed sequence) and
+fanned out across processes by the :mod:`repro.parallel` layer.  The shard
+grid depends only on ``n_samples`` and ``shard_size`` — never on the
+worker count — so the sharded estimate, failure count and convergence
+trace are bit-identical for every ``n_workers`` and backend.
 """
 
 from __future__ import annotations
@@ -16,8 +23,61 @@ import numpy as np
 
 from repro.mc.indicator import FailureSpec
 from repro.mc.results import ConvergenceTrace, EstimationResult
+from repro.parallel.executor import ParallelExecutor, resolve_executor
+from repro.parallel.sharding import checkpoint_grid, merge_mc_shards, plan_shards
+from repro.parallel.workers import MCShardTask, fold_external_counts, run_mc_shard
 from repro.stats.confidence import montecarlo_relative_error
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import SeedLike, ensure_rng, spawn_seed_sequences
+
+
+def _sharded_monte_carlo(
+    metric: Callable,
+    spec: FailureSpec,
+    n_samples: int,
+    dimension: int,
+    seed: SeedLike,
+    executor: ParallelExecutor,
+    chunk_size: int,
+    trace_points: int,
+    shard_size: Optional[int],
+) -> EstimationResult:
+    """Sharded MC path: fixed shard grid, per-shard streams, exact merge."""
+    shard_size = chunk_size if shard_size is None else int(shard_size)
+    shards = plan_shards(n_samples, shard_size)
+    seeds = spawn_seed_sequences(seed, len(shards))
+    checkpoints = checkpoint_grid(n_samples, trace_points)
+    tasks = [
+        MCShardTask(
+            shard=shard,
+            seed=child,
+            metric=metric,
+            spec=spec,
+            dimension=dimension,
+            chunk_size=chunk_size,
+            checkpoints=checkpoints,
+        )
+        for shard, child in zip(shards, seeds)
+    ]
+    results = executor.map(run_mc_shard, tasks)
+    fold_external_counts(metric, executor, results)
+    failures, trace_n, trace_est, trace_rel = merge_mc_shards(results, n_samples)
+    estimate = failures / n_samples
+    return EstimationResult(
+        method="MC",
+        failure_probability=estimate,
+        relative_error=montecarlo_relative_error(failures, n_samples),
+        n_first_stage=0,
+        n_second_stage=n_samples,
+        trace=ConvergenceTrace(
+            n_samples=trace_n, estimate=trace_est, relative_error=trace_rel
+        ),
+        extras={
+            "n_failures": failures,
+            "n_shards": len(shards),
+            "n_workers": executor.n_workers,
+            "backend": executor.backend,
+        },
+    )
 
 
 def brute_force_monte_carlo(
@@ -28,28 +88,51 @@ def brute_force_monte_carlo(
     rng: SeedLike = None,
     chunk_size: int = 65536,
     trace_points: int = 100,
+    n_workers: Optional[int] = None,
+    backend: str = "process",
+    shard_size: Optional[int] = None,
+    executor: Optional[ParallelExecutor] = None,
 ) -> EstimationResult:
     """Estimate P_f by plain Monte Carlo with ``n_samples`` simulations.
 
     The convergence trace records the running estimate at ``trace_points``
     logarithmically spaced counts, so sims-to-accuracy comparisons against
     importance sampling are possible without storing every indicator.
+
+    Parameters
+    ----------
+    n_workers:
+        ``None`` (default) keeps the historical serial path, drawing every
+        chunk from one stream.  Any integer switches to the sharded path:
+        ``shard_size``-sample shards with per-shard child streams, executed
+        ``n_workers`` at a time on ``backend``.  Sharded results depend on
+        the seed and shard grid only — the same seed gives bit-identical
+        estimates for every worker count and backend (so ``n_workers=1``
+        is the serial reference of any parallel run).
+    backend:
+        ``"process"`` / ``"thread"`` / ``"serial"`` (see
+        :class:`repro.parallel.ParallelExecutor`).
+    shard_size:
+        Samples per shard in the sharded path; defaults to ``chunk_size``.
+    executor:
+        Prebuilt :class:`~repro.parallel.ParallelExecutor`; overrides
+        ``n_workers``/``backend``.
     """
     if n_samples < 1:
         raise ValueError(f"n_samples must be positive, got {n_samples}")
     dimension = dimension if dimension is not None else getattr(metric, "dimension")
+    pool = resolve_executor(executor, n_workers, backend)
+    if pool is not None:
+        return _sharded_monte_carlo(
+            metric, spec, n_samples, dimension, rng, pool,
+            chunk_size, trace_points, shard_size,
+        )
     rng = ensure_rng(rng)
 
-    # Clamp the log-spaced checkpoint grid to [1, n_samples]: for tiny runs
-    # (n_samples < 10) a naive geomspace would start above n_samples and
-    # produce checkpoints that can never be recorded.
-    checkpoints = np.unique(
-        np.clip(
-            np.geomspace(min(10, n_samples), n_samples, trace_points).astype(int),
-            1,
-            n_samples,
-        )
-    )
+    # Shared log-spaced checkpoint grid, clamped to [1, n_samples] so tiny
+    # runs (n_samples < 10) still record every checkpoint; identical to the
+    # grid the sharded path plans, so the traces align point by point.
+    checkpoints = checkpoint_grid(n_samples, trace_points)
     trace_n, trace_est, trace_rel = [], [], []
 
     failures = 0

@@ -1,0 +1,67 @@
+"""Process-parallel execution layer: sharded sampling on all cores.
+
+The paper's workloads above the Gibbs first stage — the 8.7M-sample golden
+Monte Carlo of Table II, the importance-sampling second stages, and the
+multi-method/multi-trial experiment panels — are embarrassingly parallel.
+This package makes them actually parallel while keeping them exactly
+reproducible:
+
+* :class:`ParallelExecutor` — one fan-out primitive with ``serial`` /
+  ``thread`` / ``process`` backends;
+* :func:`plan_shards` / :func:`spawn_seed_sequences` — a worker-count-free
+  shard grid where every shard owns the child stream at its spawn index,
+  so results depend on the seed and the shard grid, never on the backend
+  or the number of workers;
+* spawn-safe shard workers plus merge helpers that reconstruct what a
+  serial pass would have produced (failure counts, checkpoint-aligned
+  convergence traces, simulation-count folding into the parent
+  :class:`~repro.mc.counter.CountedMetric`).
+
+See ``docs/ALGORITHMS.md`` ("Parallel execution") for the determinism
+contract and the wiring into ``brute_force_monte_carlo``,
+``importance_sampling_estimate`` and the experiment panels.
+"""
+
+from repro.parallel.executor import (
+    BACKENDS,
+    ParallelExecutor,
+    default_workers,
+    resolve_executor,
+)
+from repro.parallel.sharding import (
+    Shard,
+    checkpoint_grid,
+    merge_mc_shards,
+    merge_weight_shards,
+    plan_shards,
+)
+from repro.parallel.workers import (
+    ISShardResult,
+    ISShardTask,
+    MCShardResult,
+    MCShardTask,
+    fold_external_counts,
+    run_is_shard,
+    run_mc_shard,
+)
+from repro.utils.rng import spawn_seed_sequences
+
+__all__ = [
+    "BACKENDS",
+    "ParallelExecutor",
+    "default_workers",
+    "resolve_executor",
+    "Shard",
+    "plan_shards",
+    "checkpoint_grid",
+    "merge_mc_shards",
+    "merge_weight_shards",
+    "MCShardTask",
+    "MCShardResult",
+    "ISShardTask",
+    "ISShardResult",
+    "run_mc_shard",
+    "run_is_shard",
+    "fold_external_counts",
+    "spawn_seed_sequences",
+]

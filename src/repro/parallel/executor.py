@@ -1,0 +1,144 @@
+"""Backend-agnostic fan-out of shard tasks across cores.
+
+:class:`ParallelExecutor` is the one place in this library that knows how
+to run a list of independent tasks concurrently.  Everything above it —
+the sharded brute-force Monte Carlo, the sharded importance-sampling
+second stage, the experiment panels — only ever says "map this top-level
+function over these task objects" and merges the returned shard results.
+
+Design rules that keep the parallel layer deterministic and debuggable:
+
+* **Results never depend on the backend.**  Tasks carry their own
+  :class:`numpy.random.SeedSequence`-derived streams, so ``serial``,
+  ``thread`` and ``process`` execution produce bit-identical output; the
+  backend only changes wall-clock time.
+* **Workers are spawn-safe.**  Only top-level functions and picklable
+  task dataclasses cross the process boundary — no closures, no lambdas —
+  so the ``process`` backend works under every multiprocessing start
+  method (``fork``, ``spawn``, ``forkserver``).
+* **Worker state never leaks.**  A worker process mutates only its own
+  copies; anything that must survive (simulation counts, failure tallies,
+  convergence checkpoints) is returned in the shard result and folded back
+  by the caller (see :meth:`repro.mc.counter.CountedMetric.add_external`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+#: Recognised backend names.
+BACKENDS = ("serial", "thread", "process")
+
+
+def default_workers() -> int:
+    """Worker count used when the caller passes ``n_workers=None``.
+
+    Respects CPU affinity masks (containers, ``taskset``) where the
+    platform exposes them, falling back to the raw core count.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+class ParallelExecutor:
+    """Run independent tasks on a ``serial`` / ``thread`` / ``process`` backend.
+
+    Parameters
+    ----------
+    n_workers:
+        Concurrent workers; ``None`` uses the machine's available cores.
+        ``1`` always runs inline in the calling process/thread, whatever
+        the backend — convenient for debugging and for exact shared-state
+        accounting (a shared :class:`~repro.mc.counter.CountedMetric`
+        counts directly instead of through shard-result folding).
+    backend:
+        ``"process"`` (default) for CPU-bound numpy work, ``"thread"`` for
+        workloads dominated by GIL-releasing native code, ``"serial"`` to
+        force inline execution.
+    mp_context:
+        Optional :mod:`multiprocessing` context for the process backend
+        (e.g. ``multiprocessing.get_context("spawn")``); the platform
+        default is used otherwise.
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        backend: str = "process",
+        mp_context=None,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if n_workers is None:
+            n_workers = default_workers()
+        n_workers = int(n_workers)
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.backend = backend
+        self.mp_context = mp_context
+
+    @property
+    def runs_inline(self) -> bool:
+        """True when tasks execute in the calling process and thread."""
+        return self.backend == "serial" or self.n_workers == 1
+
+    @property
+    def cross_process(self) -> bool:
+        """True when workers get *copies* of task state (process backend).
+
+        Callers use this to decide whether shard-local bookkeeping (e.g.
+        simulation counts) must be folded back into parent objects: inline
+        and thread execution share objects with the caller, so counts
+        accumulate directly; process execution mutates pickled copies whose
+        deltas only come home inside the shard results.
+        """
+        return self.backend == "process" and not self.runs_inline
+
+    def map(self, fn: Callable, tasks: Sequence) -> List:
+        """Apply a top-level function to every task; results stay ordered.
+
+        ``fn`` must be a module-level callable and each task picklable when
+        the process backend is active.  Exceptions raised by any task
+        propagate to the caller (after the pool has been torn down).
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.runs_inline:
+            return [fn(task) for task in tasks]
+        workers = min(self.n_workers, len(tasks))
+        if self.backend == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, tasks))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=self.mp_context
+        ) as pool:
+            return list(pool.map(fn, tasks))
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor({self.backend!r}, n_workers={self.n_workers})"
+
+
+def resolve_executor(
+    executor: Optional[ParallelExecutor],
+    n_workers: Optional[int],
+    backend: str = "process",
+) -> Optional[ParallelExecutor]:
+    """Shared argument plumbing for ``(executor, n_workers, backend)`` knobs.
+
+    Entry points accept either a prebuilt executor or the plain
+    ``n_workers``/``backend`` pair; ``None`` for both means "serial legacy
+    path" and returns ``None`` so the caller can keep its unsharded code.
+    """
+    if executor is not None:
+        return executor
+    if n_workers is None:
+        return None
+    return ParallelExecutor(n_workers=n_workers, backend=backend)

@@ -1,0 +1,163 @@
+"""Spawn-safe shard workers and their task/result records.
+
+Everything in this module is a top-level function or a plain dataclass, so
+tasks pickle cleanly under every multiprocessing start method.  Workers
+follow one discipline: consume only what the task carries, mutate only
+local state, and return *everything* the parent needs to merge — failure
+tallies, per-checkpoint cumulative counts, importance weights, and the
+simulation/call counts the parent folds back into its own
+:class:`~repro.mc.counter.CountedMetric` via ``add_external``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.parallel.sharding import Shard
+
+
+# --------------------------------------------------------------- brute MC
+@dataclass
+class MCShardTask:
+    """One brute-force Monte-Carlo shard: draw, evaluate, tally.
+
+    ``checkpoints`` is the *global* convergence-checkpoint grid; the worker
+    keeps only the checkpoints that land inside its own sample span.
+    """
+
+    shard: Shard
+    seed: np.random.SeedSequence
+    metric: Callable
+    spec: object
+    dimension: int
+    chunk_size: int
+    checkpoints: np.ndarray
+
+
+@dataclass
+class MCShardResult:
+    """Mergeable outcome of one MC shard (see ``merge_mc_shards``)."""
+
+    index: int
+    offset: int
+    count: int
+    n_failures: int
+    #: Global checkpoint values inside this shard's span.
+    checkpoints: np.ndarray
+    #: Within-shard cumulative failure count at each of those checkpoints.
+    cum_failures: np.ndarray
+    #: Simulations evaluated (= ``count``) and metric invocations issued,
+    #: for exact cost accounting across process boundaries.
+    n_sims: int = 0
+    n_calls: int = 0
+
+
+def run_mc_shard(task: MCShardTask) -> MCShardResult:
+    """Execute one brute-force MC shard with its own deterministic stream."""
+    shard = task.shard
+    rng = np.random.default_rng(task.seed)
+    lo, hi = shard.offset, shard.offset + shard.count
+    cps = task.checkpoints[(task.checkpoints > lo) & (task.checkpoints <= hi)]
+    cp_cum = np.zeros(cps.size, dtype=np.int64)
+
+    failures = 0
+    seen = 0
+    next_cp = 0
+    n_calls = 0
+    while seen < shard.count:
+        take = min(task.chunk_size, shard.count - seen)
+        x = rng.standard_normal((take, task.dimension))
+        fail = task.spec.indicator(task.metric(x))
+        n_calls += 1
+        cum_inside = np.cumsum(fail)
+        while next_cp < cps.size and cps[next_cp] <= lo + seen + take:
+            at_local = int(cps[next_cp]) - lo - seen
+            cp_cum[next_cp] = failures + int(cum_inside[at_local - 1])
+            next_cp += 1
+        failures += int(fail.sum())
+        seen += take
+    return MCShardResult(
+        index=shard.index,
+        offset=shard.offset,
+        count=shard.count,
+        n_failures=failures,
+        checkpoints=cps,
+        cum_failures=cp_cum,
+        n_sims=shard.count,
+        n_calls=n_calls,
+    )
+
+
+# ----------------------------------------------------- importance sampling
+@dataclass
+class ISShardTask:
+    """One importance-sampling shard: sample the proposal, weight."""
+
+    shard: Shard
+    seed: np.random.SeedSequence
+    metric: Callable
+    spec: object
+    proposal: object
+    nominal: object
+    store_samples: bool = False
+
+
+@dataclass
+class ISShardResult:
+    """Mergeable outcome of one IS shard (weights in sample order)."""
+
+    index: int
+    count: int
+    weights: np.ndarray
+    n_failures: int
+    samples: Optional[np.ndarray] = None
+    failed: Optional[np.ndarray] = None
+    n_sims: int = 0
+    n_calls: int = 0
+
+
+def run_is_shard(task: ISShardTask) -> ISShardResult:
+    """Execute one second-stage shard with its own deterministic stream."""
+    # Local import: repro.mc.importance itself imports the parallel layer
+    # for its sharded path, so the weight helper is resolved lazily here.
+    from repro.mc.importance import importance_weights
+
+    shard = task.shard
+    rng = np.random.default_rng(task.seed)
+    x = task.proposal.sample(shard.count, rng)
+    fail = np.asarray(task.spec.indicator(task.metric(x)), dtype=bool)
+    weights = importance_weights(x, fail, task.proposal, task.nominal)
+    return ISShardResult(
+        index=shard.index,
+        count=shard.count,
+        weights=weights,
+        n_failures=int(fail.sum()),
+        samples=x if task.store_samples else None,
+        failed=fail if task.store_samples else None,
+        n_sims=shard.count,
+        n_calls=1,
+    )
+
+
+def fold_external_counts(metric, executor, shard_results) -> None:
+    """Fold worker-local simulation counts back into the parent counter.
+
+    Inline and thread backends share the caller's metric object, so a
+    :class:`~repro.mc.counter.CountedMetric` has already counted every
+    worker evaluation; only the process backend isolates worker state, and
+    there the deltas come home inside the shard results.  Calling this
+    after every sharded run keeps first/second-stage accounting exact on
+    all backends.
+    """
+    if executor is None or not executor.cross_process:
+        return
+    add_external = getattr(metric, "add_external", None)
+    if add_external is None:
+        return
+    add_external(
+        sum(r.n_sims for r in shard_results),
+        calls=sum(r.n_calls for r in shard_results),
+    )

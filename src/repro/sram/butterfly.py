@@ -26,7 +26,7 @@ the state storing 0 at ``q``; the ``c < 0`` lobe to storing 1.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -78,11 +78,30 @@ def _interp_increasing_batched(
     return g0 + frac * (g1 - g0)
 
 
+def slope_transforms(
+    grid: np.ndarray, vtc_left: np.ndarray, vtc_right: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Slope-1 transforms ``(z_left, z_right)`` of the two butterfly curves.
+
+    ``z_right = vtc_right - grid`` is the intercept ``y - x`` along curve R
+    (decreasing along the grid axis); ``z_left = grid - vtc_left`` is the
+    intercept along curve L (increasing).  Both side extraction
+    (:func:`line_family_sides`) and the validity mask of
+    :func:`lobe_margins` are functions of these two arrays alone, so
+    callers compute them once per batch and share them.
+    """
+    grid_col = np.asarray(grid, dtype=float).reshape(
+        (-1,) + (1,) * (vtc_right.ndim - 1)
+    )
+    return grid_col - vtc_left, vtc_right - grid_col
+
+
 def line_family_sides(
     grid: np.ndarray,
     vtc_left: np.ndarray,
     vtc_right: np.ndarray,
     c_levels: np.ndarray,
+    transforms: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> np.ndarray:
     """Signed inscribed-square side ``t(c)`` for every slope-1 line level.
 
@@ -97,6 +116,10 @@ def line_family_sides(
         ``(P, *batch)`` right half-cell response ``v_qb = h_R(v_q)``.
     c_levels:
         ``(C,)`` intercepts of the lines ``y = x + c``.
+    transforms:
+        Optional precomputed :func:`slope_transforms` output for these
+        curves, letting callers that also need the transforms (e.g.
+        :func:`lobe_margins`'s validity mask) compute them once.
 
     Returns
     -------
@@ -104,11 +127,12 @@ def line_family_sides(
     """
     grid = np.asarray(grid, dtype=float)
     c_levels = np.asarray(c_levels, dtype=float)
+    if transforms is None:
+        transforms = slope_transforms(grid, vtc_left, vtc_right)
+    z_left, z_right = transforms
     # Curve R: points (grid, vtc_right); z = y - x decreasing along the grid.
-    z_right = vtc_right - grid.reshape((-1,) + (1,) * (vtc_right.ndim - 1))
     x_right = _interp_increasing(-z_right, grid, -c_levels)
     # Curve L: points (vtc_left, grid); z = y - x increasing along the grid.
-    z_left = grid.reshape((-1,) + (1,) * (vtc_left.ndim - 1)) - vtc_left
     y_left = _interp_increasing(z_left, grid, c_levels)
     x_left = y_left - c_levels.reshape((-1,) + (1,) * (y_left.ndim - 1))
     return x_right - x_left
@@ -137,15 +161,14 @@ def lobe_margins(
             "n_lines must be an odd integer >= 5 so that c=0 is excluded symmetrically"
         )
     c_levels = np.linspace(-span, span, n_lines)
-    t = line_family_sides(grid, vtc_left, vtc_right, c_levels)
+    transforms = slope_transforms(grid, vtc_left, vtc_right)
+    t = line_family_sides(grid, vtc_left, vtc_right, c_levels, transforms)
 
     # A line level is only meaningful where it genuinely crosses BOTH curves;
     # outside, the interpolation clamps to curve endpoints and would inject
     # spurious t = 0 entries that mask negative (failed-lobe) margins.
     batch_ndim = vtc_left.ndim - 1
-    grid_col = grid.reshape((-1,) + (1,) * batch_ndim)
-    z_right = vtc_right - grid_col
-    z_left = grid_col - vtc_left
+    z_left, z_right = transforms
     c_col = c_levels.reshape((-1,) + (1,) * batch_ndim)
     valid = (
         (c_col > z_right.min(axis=0))

@@ -50,41 +50,91 @@ PAPER_INDEX: Dict[str, int] = {f"M{i + 1}": i for i in range(6)}
 
 
 def _solve_monotone_node(residual, lo: float, hi: float, shape,
-                         iterations: int = 26, tol: float = 2e-12):
+                         iterations: int = 26, tol: float = 2e-12,
+                         v0=None):
     """Solve ``residual(v) = 0`` for a strictly increasing residual.
 
-    ``residual`` maps an array of node voltages (given ``shape``) to
-    ``(f, dfdv)``.  Uses Newton steps safeguarded by bisection on the
-    bracket ``[lo, hi]``; globally convergent for monotone residuals.
+    ``residual`` maps a *flat* array of node voltages plus an optional
+    flat-index array (``None`` meaning "all lanes") to ``(f, dfdv)`` for
+    those lanes.  Uses Newton steps safeguarded by bisection on the bracket
+    ``[lo, hi]``; globally convergent for monotone residuals.
+
+    The loop maintains a shrinking **active set**: a lane whose residual
+    drops under ``tol`` is written back and exits immediately, so every
+    subsequent residual evaluation — the dominant cost, six transistor
+    models per lane — covers only the still-running lanes.  In a
+    Monte-Carlo batch the bulk converges within a few Newton steps and a
+    handful of collapsed-lobe stragglers run long, so the tail iterations
+    cost a fraction of the full batch (the same pattern as the DC solver's
+    Newton loop).  Lane freezing also keeps batch members decoupled: a
+    converged lane's value never depends on how long *other* lanes keep
+    the loop alive (a batch-coupling bug caught by importance-sampling
+    weight explosions; see tests/test_sram_cell.py).
+
+    ``v0`` (broadcastable to ``shape``) seeds the first Newton step instead
+    of the bracket midpoint — the grid-continuation warm start of
+    :meth:`SixTransistorCell.half_cell_vtc`.  The bracket stays the full
+    ``[lo, hi]``, so a poor warm start costs iterations, never correctness.
     """
-    lo_arr = np.full(shape, float(lo))
-    hi_arr = np.full(shape, float(hi))
-    v = 0.5 * (lo_arr + hi_arr)
+    n = int(np.prod(shape)) if shape else 1
+    lo_act = np.full(n, float(lo))
+    hi_act = np.full(n, float(hi))
+    if v0 is None:
+        v_act = 0.5 * (lo_act + hi_act)
+    else:
+        v_act = np.clip(
+            np.broadcast_to(np.asarray(v0, dtype=float), shape).reshape(n).copy(),
+            float(lo), float(hi),
+        )
+    v = np.empty(n)
+    active = np.arange(n)
     for _ in range(iterations):
-        f, dfdv = residual(v)
+        f, dfdv = residual(v_act, active)
         done = np.abs(f) < tol
-        if done.all():
-            break
+        if done.any():
+            # Early lane exit: freeze converged lanes at the voltage their
+            # residual was just evaluated at and drop them from the set.
+            v[active[done]] = v_act[done]
+            keep = ~done
+            if not keep.any():
+                active = active[:0]
+                break
+            active = active[keep]
+            v_act, lo_act, hi_act = v_act[keep], lo_act[keep], hi_act[keep]
+            f, dfdv = f[keep], dfdv[keep]
         # Tighten the bracket using the sign of the monotone residual.
         above = f > 0.0
-        hi_arr = np.where(above & ~done, v, hi_arr)
-        lo_arr = np.where(~above & ~done, v, lo_arr)
+        hi_act = np.where(above, v_act, hi_act)
+        lo_act = np.where(~above, v_act, lo_act)
         with np.errstate(divide="ignore", invalid="ignore"):
             step = np.where(dfdv > 0.0, -f / dfdv, 0.0)
-        candidate = v + step
+        candidate = v_act + step
         # Fall back to bisection wherever Newton leaves the bracket or the
         # derivative is unusable.
-        inside = (candidate > lo_arr) & (candidate < hi_arr) & (dfdv > 0.0)
-        v_next = np.where(inside, candidate, 0.5 * (lo_arr + hi_arr))
-        # Freeze converged lanes.  Without this, a lane whose Newton step
-        # has rounded to zero sits exactly ON its bracket boundary, fails
-        # the strict `inside` test, and gets hurled to the midpoint of a
-        # possibly-wide stale bracket — an error of up to half the bracket
-        # that then depends on how long *other* batch members keep the
-        # loop alive (a batch-coupling bug caught by importance-sampling
-        # weight explosions; see tests/test_sram_cell.py).
-        v = np.where(done, v, v_next)
-    return v
+        inside = (candidate > lo_act) & (candidate < hi_act) & (dfdv > 0.0)
+        v_act = np.where(inside, candidate, 0.5 * (lo_act + hi_act))
+    if active.size:
+        v[active] = v_act
+    return v.reshape(shape)
+
+
+#: Input-grid stride of the coarse continuation pass in ``half_cell_vtc``.
+_VTC_COARSE_STRIDE = 8
+
+
+def _interp_along_axis0(x_full, x_coarse, y_coarse):
+    """Linearly interpolate ``y_coarse`` onto ``x_full`` along axis 0.
+
+    ``y_coarse`` has shape ``(len(x_coarse), *batch)``; the result has shape
+    ``(len(x_full), *batch)``.  Only used to seed Newton iterations, so
+    plain piecewise-linear accuracy is plenty.
+    """
+    pos = np.searchsorted(x_coarse, x_full, side="right") - 1
+    pos = np.clip(pos, 0, x_coarse.size - 2)
+    span = x_coarse[pos + 1] - x_coarse[pos]
+    frac = np.where(span > 0.0, (x_full - x_coarse[pos]) / np.where(span > 0.0, span, 1.0), 0.0)
+    frac = frac.reshape((-1,) + (1,) * (y_coarse.ndim - 1))
+    return y_coarse[pos] + frac * (y_coarse[pos + 1] - y_coarse[pos])
 
 
 class SixTransistorCell:
@@ -148,22 +198,42 @@ class SixTransistorCell:
 
     # ------------------------------------------------- half-cell response
     def _half_cell_residual(self, side: str, vin, bl_voltage, wl_voltage,
-                            delta_vth: Mapping[str, np.ndarray]):
-        """Residual factory: KCL current leaving the storage node of ``side``."""
+                            delta_vth: Mapping[str, np.ndarray], shape):
+        """Residual factory: KCL current leaving the storage node of ``side``.
+
+        Inputs (input voltage and per-device mismatches) are broadcast to
+        ``shape`` and flattened once, so the returned ``residual(v, idx)``
+        can evaluate any *subset* of lanes — the contract
+        :func:`_solve_monotone_node`'s active-set loop relies on.  Subset
+        evaluation is elementwise, hence bit-identical to evaluating the
+        full batch and slicing.
+        """
         suffix = "_l" if side == "left" else "_r"
         pd = self.devices["pd" + suffix]
         pu = self.devices["pu" + suffix]
         ax = self.devices["ax" + suffix]
-        d_pd = delta_vth.get("pd" + suffix, 0.0)
-        d_pu = delta_vth.get("pu" + suffix, 0.0)
-        d_ax = delta_vth.get("ax" + suffix, 0.0)
         vdd = self.vdd
+        n = int(np.prod(shape)) if shape else 1
 
-        def residual(v_node):
-            i_pd, _, dd_pd, _ = pd.current_and_derivs(vin, v_node, 0.0, 0.0, d_pd)
-            i_pu, _, dd_pu, _ = pu.current_and_derivs(vin, v_node, vdd, vdd, d_pu)
+        def flat(value):
+            return np.broadcast_to(np.asarray(value, dtype=float), shape).reshape(n)
+
+        vin_f = flat(vin)
+        d_pd = flat(delta_vth.get("pd" + suffix, 0.0))
+        d_pu = flat(delta_vth.get("pu" + suffix, 0.0))
+        d_ax = flat(delta_vth.get("ax" + suffix, 0.0))
+
+        def residual(v_node, idx=None):
+            if idx is None:
+                vin_x, dpd_x, dpu_x, dax_x = vin_f, d_pd, d_pu, d_ax
+            else:
+                vin_x, dpd_x, dpu_x, dax_x = (
+                    vin_f[idx], d_pd[idx], d_pu[idx], d_ax[idx]
+                )
+            i_pd, _, dd_pd, _ = pd.current_and_derivs(vin_x, v_node, 0.0, 0.0, dpd_x)
+            i_pu, _, dd_pu, _ = pu.current_and_derivs(vin_x, v_node, vdd, vdd, dpu_x)
             i_ax, _, _, ds_ax = ax.current_and_derivs(
-                wl_voltage, bl_voltage, v_node, 0.0, d_ax
+                wl_voltage, bl_voltage, v_node, 0.0, dax_x
             )
             # i_pd and i_pu leave the node (their drain is the node); the
             # access current flows bitline -> node, so it enters the node.
@@ -205,9 +275,30 @@ class SixTransistorCell:
         vin = vin_grid.reshape((-1,) + (1,) * len(batch_shape))
         shape = (vin_grid.size,) + batch_shape
         residual = self._half_cell_residual(
-            side, vin, float(bl_voltage), wl_voltage, delta_vth
+            side, vin, float(bl_voltage), wl_voltage, delta_vth, shape
         )
-        return _solve_monotone_node(residual, -0.2, self.vdd + 0.2, shape)
+        lo, hi = -0.2, self.vdd + 0.2
+        n_grid = vin_grid.size
+        if n_grid < 2 * _VTC_COARSE_STRIDE:
+            return _solve_monotone_node(residual, lo, hi, shape)
+        # Grid continuation: solve every ``stride``-th input point first,
+        # then seed the full solve by linear interpolation along the grid
+        # axis.  The VTC is continuous in the input voltage, so the
+        # interpolant lands within a few Newton steps of the answer; the
+        # full solve keeps the complete [lo, hi] bracket, so convergence
+        # (and the bisection safety net) is untouched — only the Newton
+        # starting point changes, within the solver tolerance.
+        coarse_idx = np.arange(0, n_grid, _VTC_COARSE_STRIDE)
+        if coarse_idx[-1] != n_grid - 1:
+            coarse_idx = np.append(coarse_idx, n_grid - 1)
+        coarse_shape = (coarse_idx.size,) + batch_shape
+        coarse_res = self._half_cell_residual(
+            side, vin_grid[coarse_idx].reshape((-1,) + (1,) * len(batch_shape)),
+            float(bl_voltage), wl_voltage, delta_vth, coarse_shape,
+        )
+        v_coarse = _solve_monotone_node(coarse_res, lo, hi, coarse_shape)
+        interp = _interp_along_axis0(vin_grid, vin_grid[coarse_idx], v_coarse)
+        return _solve_monotone_node(residual, lo, hi, shape, v0=interp)
 
     # ------------------------------------------------------- read state
     def solve_read_state(
@@ -345,9 +436,9 @@ class SixTransistorCell:
         def loop_map(v_low):
             """phi: low-node voltage -> far response -> near response."""
             shape = np.shape(v_low)
-            far_res = self._half_cell_residual(far, v_low, vdd, vdd, delta)
+            far_res = self._half_cell_residual(far, v_low, vdd, vdd, delta, shape)
             v_far = _solve_monotone_node(far_res, -0.2, vdd + 0.2, shape)
-            near_res = self._half_cell_residual(near, v_far, vdd, vdd, delta)
+            near_res = self._half_cell_residual(near, v_far, vdd, vdd, delta, shape)
             v_near = _solve_monotone_node(near_res, -0.2, vdd + 0.2, shape)
             return v_near, v_far
 
@@ -372,7 +463,9 @@ class SixTransistorCell:
         _, v_far = loop_map(v_low)
         # Evaluate the near node once more so (v_low, v_far) is an exact
         # consistent pair at the fixed point.
-        near_res = self._half_cell_residual(near, v_far, vdd, vdd, delta)
+        near_res = self._half_cell_residual(
+            near, v_far, vdd, vdd, delta, np.shape(v_low)
+        )
         v_low = _solve_monotone_node(near_res, -0.2, vdd + 0.2, np.shape(v_low))
         if stored_zero_at_q:
             return v_low, v_far

@@ -26,6 +26,36 @@ def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Coerce any seed-like input into a :class:`numpy.random.SeedSequence`.
+
+    Generators contribute one draw from their bit stream, so the derived
+    sequence is deterministic given the generator's state; integers and
+    ``None`` follow numpy's usual entropy rules.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's bit stream.
+        return np.random.SeedSequence(seed.integers(0, 2**63 - 1))
+    return np.random.SeedSequence(seed)
+
+
+def spawn_seed_sequences(seed: SeedLike, count: int) -> list:
+    """Derive ``count`` independent child seed sequences.
+
+    This is the picklable sibling of :func:`spawn_rngs`: the parallel
+    execution layer ships one child sequence to every shard worker, which
+    builds its own generator on arrival.  Because the children are indexed
+    by spawn position, the streams — and therefore the results — depend
+    only on ``seed`` and the shard grid, never on how many workers or which
+    backend executed them.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return list(as_seed_sequence(seed).spawn(count))
+
+
 def spawn_rngs(seed: SeedLike, count: int) -> list:
     """Derive ``count`` statistically independent child generators.
 
@@ -33,13 +63,7 @@ def spawn_rngs(seed: SeedLike, count: int) -> list:
     method gets its own stream so changing one method's sample consumption
     does not perturb the others.
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    if isinstance(seed, np.random.SeedSequence):
-        seq = seed
-    elif isinstance(seed, np.random.Generator):
-        # Derive children from the generator's bit stream.
-        seq = np.random.SeedSequence(seed.integers(0, 2**63 - 1))
-    else:
-        seq = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seq.spawn(count)]
+    return [
+        np.random.default_rng(child)
+        for child in spawn_seed_sequences(seed, count)
+    ]

@@ -25,6 +25,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_workers_default_serial(self):
+        args = build_parser().parse_args(["estimate"])
+        assert args.workers is None
+
+    def test_workers_flag_parsed(self):
+        args = build_parser().parse_args(["compare", "--workers", "4"])
+        assert args.workers == 4
+
 
 class TestCommands:
     def test_region_command(self, capsys):
@@ -55,6 +63,26 @@ class TestCommands:
         ])
         assert code == 0
         assert "MC: P_f" in capsys.readouterr().out
+
+    def test_estimate_mc_workers_matches_worker_free_reference(self, capsys):
+        """--workers shards the run; the estimate depends on the seed only."""
+        assert main([
+            "estimate", "--problem", "iread", "--method", "MC",
+            "--n-second", "4000", "--seed", "9", "--workers", "2",
+        ]) == 0
+        line_sharded = [
+            line for line in capsys.readouterr().out.splitlines()
+            if "MC: P_f" in line
+        ][0]
+        assert main([
+            "estimate", "--problem", "iread", "--method", "MC",
+            "--n-second", "4000", "--seed", "9", "--workers", "1",
+        ]) == 0
+        line_reference = [
+            line for line in capsys.readouterr().out.splitlines()
+            if "MC: P_f" in line
+        ][0]
+        assert line_sharded == line_reference
 
     def test_estimate_twrite_problem(self, capsys):
         code = main([

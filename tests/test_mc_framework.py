@@ -90,6 +90,30 @@ class TestCountedMetric:
     def test_repr(self):
         assert "simulations" in repr(self.metric())
 
+    def test_add_external_totals_match_serial(self):
+        """Folding worker tallies must equal having evaluated locally."""
+        serial = self.metric()
+        serial(np.zeros((5, 3)))
+        serial(np.zeros((7, 3)))
+        parent = self.metric()
+        parent(np.zeros((5, 3)))
+        # The second batch ran in a worker: only its tally comes home.
+        parent.add_external(7, calls=1)
+        assert parent.count == serial.count == 12
+        assert parent.calls == serial.calls == 2
+
+    def test_add_external_default_calls(self):
+        m = self.metric()
+        m.add_external(3)
+        assert m.count == 3 and m.calls == 0
+
+    def test_add_external_rejects_negative(self):
+        m = self.metric()
+        with pytest.raises(ValueError, match="non-negative"):
+            m.add_external(-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            m.add_external(1, calls=-2)
+
 
 class TestConvergenceTrace:
     def test_from_weights_running_mean(self):

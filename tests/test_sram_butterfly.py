@@ -10,6 +10,7 @@ import pytest
 from repro.sram.butterfly import (
     line_family_sides,
     lobe_margins,
+    slope_transforms,
     write_margin,
 )
 
@@ -41,6 +42,26 @@ class TestLineFamilySides:
         c = np.linspace(-0.5, 0.5, 7)
         t = line_family_sides(grid, curves, curves, c)
         assert t.shape == (7, 2)
+
+    def test_precomputed_transforms_identical(self):
+        """Passing slope_transforms output must reproduce the internal path
+        bit-for-bit — the contract lobe_margins relies on to share the
+        transforms between side extraction and its validity mask."""
+        grid = np.linspace(0, 1.2, 101)
+        base = ideal_inverter_curve(grid, 1.2, 0.0, 0.55)
+        curves = np.stack([base, base * 0.85 + 0.1], axis=1)
+        c = np.linspace(-0.8, 0.8, 13)
+        transforms = slope_transforms(grid, curves, curves)
+        z_left, z_right = transforms
+        np.testing.assert_array_equal(
+            z_right, curves - grid[:, np.newaxis]
+        )
+        np.testing.assert_array_equal(
+            z_left, grid[:, np.newaxis] - curves
+        )
+        t_internal = line_family_sides(grid, curves, curves, c)
+        t_shared = line_family_sides(grid, curves, curves, c, transforms)
+        np.testing.assert_array_equal(t_internal, t_shared)
 
 
 class TestLobeMargins:

@@ -2,10 +2,122 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.circuit import solve_dc
 from repro.devices.technology import DeviceGeometry
-from repro.sram.cell import DEVICE_NAMES, PAPER_INDEX, SixTransistorCell
+from repro.sram.cell import (
+    DEVICE_NAMES,
+    PAPER_INDEX,
+    SixTransistorCell,
+    _solve_monotone_node,
+)
+
+
+def _solve_monotone_node_reference(residual, lo, hi, shape,
+                                   iterations=26, tol=2e-12):
+    """The pre-active-set full-array loop, verbatim (flattened inputs).
+
+    Kept here as the ground truth the active-set/early-exit rewrite must
+    match bit for bit: frozen lanes were already inert in this loop (the
+    bracket updates mask on ``~done`` and ``v`` keeps its frozen value), so
+    compacting them away must not change a single ULP.
+    """
+    n = int(np.prod(shape)) if shape else 1
+    lo_arr = np.full(n, float(lo))
+    hi_arr = np.full(n, float(hi))
+    v = 0.5 * (lo_arr + hi_arr)
+    for _ in range(iterations):
+        f, dfdv = residual(v)
+        done = np.abs(f) < tol
+        if done.all():
+            break
+        above = f > 0.0
+        hi_arr = np.where(above & ~done, v, hi_arr)
+        lo_arr = np.where(~above & ~done, v, lo_arr)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            step = np.where(dfdv > 0.0, -f / dfdv, 0.0)
+        candidate = v + step
+        inside = (candidate > lo_arr) & (candidate < hi_arr) & (dfdv > 0.0)
+        v_next = np.where(inside, candidate, 0.5 * (lo_arr + hi_arr))
+        v = np.where(done, v, v_next)
+    return v.reshape(shape)
+
+
+class TestActiveSetSolverBitIdentity:
+    """The active-set rewrite must reproduce the old loop exactly."""
+
+    def _compare_on_cell(self, cell, delta):
+        grid = np.linspace(0.0, 1.2, 9)
+        batch = np.broadcast_shapes(*(np.shape(d) for d in delta.values()))
+        shape = (grid.size,) + batch
+        vin = grid.reshape((-1,) + (1,) * len(batch))
+        residual = cell._half_cell_residual("left", vin, 1.2, 1.2, delta, shape)
+        new = _solve_monotone_node(residual, -0.2, 1.4, shape)
+        old = _solve_monotone_node_reference(
+            lambda v: residual(v, None), -0.2, 1.4, shape
+        )
+        np.testing.assert_array_equal(new, old)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_property_battery_random_mismatch(self, seed):
+        cell = SixTransistorCell()
+        gen = np.random.default_rng(seed)
+        delta = {
+            name: gen.normal(0.0, 0.08, size=6) for name in DEVICE_NAMES
+        }
+        self._compare_on_cell(cell, delta)
+
+    def test_collapsed_lobe_cells(self, cell):
+        """Extreme mismatch (destroyed lobes, slow-converging lanes) mixed
+        with benign lanes — the regime the early exit targets."""
+        delta = {
+            "pd_l": np.array([0.0, 0.5, -0.3, 0.02]),
+            "ax_l": np.array([0.0, -0.4, 0.35, -0.01]),
+            "pu_l": np.array([0.0, 0.3, -0.45, 0.0]),
+        }
+        self._compare_on_cell(cell, delta)
+
+    def test_synthetic_monotone_residual(self):
+        """Analytic cubic residual: exercises Newton steps, bisection
+        fallbacks and per-lane convergence spread without any devices."""
+        gen = np.random.default_rng(0)
+        roots = gen.uniform(-0.1, 1.3, 64)
+        scale = gen.uniform(1e-3, 10.0, 64)
+
+        def residual_new(v, idx=None):
+            r = roots if idx is None else roots[idx]
+            s = scale if idx is None else scale[idx]
+            d = v - r
+            return s * d**3 + 0.5 * d, s * 3 * d**2 + 0.5
+
+        new = _solve_monotone_node(residual_new, -0.2, 1.4, (64,))
+        old = _solve_monotone_node_reference(
+            lambda v: residual_new(v, None), -0.2, 1.4, (64,)
+        )
+        np.testing.assert_array_equal(new, old)
+        np.testing.assert_allclose(new, roots, atol=1e-6)
+
+    def test_warm_start_agrees_within_tolerance(self):
+        """A warm start changes the Newton path, never the answer beyond
+        the solver tolerance — and a *bad* warm start stays safe because
+        the bracket remains the full interval."""
+        gen = np.random.default_rng(1)
+        roots = gen.uniform(0.0, 1.2, 32)
+
+        def residual(v, idx=None):
+            r = roots if idx is None else roots[idx]
+            return v - r, np.ones_like(v)
+
+        cold = _solve_monotone_node(residual, -0.2, 1.4, (32,))
+        warm = _solve_monotone_node(residual, -0.2, 1.4, (32,), v0=roots + 0.01)
+        bad = _solve_monotone_node(
+            residual, -0.2, 1.4, (32,), v0=np.full(32, 99.0)
+        )
+        np.testing.assert_allclose(warm, cold, atol=1e-9)
+        np.testing.assert_allclose(bad, cold, atol=1e-9)
 
 
 class TestConstruction:
@@ -77,10 +189,24 @@ class TestHalfCellVtc:
         grid = np.linspace(0, 1.2, 11)
         vtc = cell.half_cell_vtc("left", grid, 1.2)
         residual = cell._half_cell_residual(
-            "left", grid, 1.2, 1.2, {}
+            "left", grid, 1.2, 1.2, {}, grid.shape
         )
         f, _ = residual(vtc)
         assert np.max(np.abs(f)) < 1e-10
+
+    def test_residual_subset_matches_full(self, cell):
+        """Active-set contract: evaluating a lane subset must be identical
+        to evaluating all lanes and slicing."""
+        grid = np.linspace(0, 1.2, 11)
+        residual = cell._half_cell_residual(
+            "left", grid, 1.2, 1.2, {}, grid.shape
+        )
+        v = np.linspace(0.1, 1.1, 11)
+        idx = np.array([0, 3, 7, 10])
+        f_all, df_all = residual(v)
+        f_sub, df_sub = residual(v[idx], idx)
+        np.testing.assert_array_equal(f_sub, f_all[idx])
+        np.testing.assert_array_equal(df_sub, df_all[idx])
 
 
 class TestBatchIndependence:
