@@ -10,6 +10,7 @@ instrument.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 import numpy as np
@@ -19,6 +20,12 @@ from repro.utils.validation import as_sample_matrix
 
 class CountedMetric:
     """A metric wrapper that counts evaluated samples.
+
+    Counting is thread-safe: the thread backend of the parallel execution
+    layer shares one instance across shard workers, and ``count``/``calls``
+    increments are read-modify-write pairs that would otherwise interleave
+    and silently lose simulations.  A lock serialises the bookkeeping only
+    — metric evaluation itself runs unlocked.
 
     Parameters
     ----------
@@ -44,11 +51,24 @@ class CountedMetric:
         #: amortises per-call overhead — the lockstep multi-chain engine
         #: drives ``count / calls`` up without touching ``count``.
         self.calls = 0
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        # Locks don't pickle; process-backend workers get a copy and
+        # recreate their own in __setstate__.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         x = as_sample_matrix(x, self.dimension)
-        self.count += x.shape[0]
-        self.calls += 1
+        with self._lock:
+            self.count += x.shape[0]
+            self.calls += 1
         return np.asarray(self.metric(x), dtype=float)
 
     def evaluate(self, x: np.ndarray) -> np.ndarray:
@@ -67,16 +87,18 @@ class CountedMetric:
             raise ValueError(
                 f"external counts must be non-negative, got n={n}, calls={calls}"
             )
-        self.count += int(n)
-        self.calls += int(calls)
+        with self._lock:
+            self.count += int(n)
+            self.calls += int(calls)
 
     def checkpoint(self) -> int:
         """Current count, for before/after accounting of one flow stage."""
         return self.count
 
     def reset(self) -> None:
-        self.count = 0
-        self.calls = 0
+        with self._lock:
+            self.count = 0
+            self.calls = 0
 
     def __repr__(self) -> str:
         return f"CountedMetric({self.count} simulations, M={self.dimension})"

@@ -63,9 +63,10 @@ def _sharded_second_stage(
     """Fan the second stage out in shards; merge weights in sample order.
 
     The shard grid depends on ``n_samples`` and ``shard_size`` only and
-    every shard owns the child stream at its spawn index, so the merged
-    weight vector — and everything derived from it — is bit-identical for
-    any worker count and backend.
+    every shard owns the child stream at its spawn index — or, for a
+    shard-aware stateful proposal, the sequence slice at its shard offset
+    — so the merged weight vector, and everything derived from it, is
+    bit-identical for any worker count and backend.
     """
     shards = plan_shards(n_samples, shard_size)
     seeds = spawn_seed_sequences(seed, len(shards))
@@ -83,6 +84,11 @@ def _sharded_second_stage(
     ]
     results = executor.map(run_is_shard, tasks)
     fold_external_counts(metric, executor, results)
+    # Shard draws never moved the parent's sequence position (each worker
+    # fast-forwards a private copy); advance it once so the instance keeps
+    # its never-reuse-points contract, exactly as the serial path would.
+    if hasattr(proposal, "sample_shard") and hasattr(proposal, "advance"):
+        proposal.advance(n_samples)
     results.sort(key=lambda r: r.index)
     weights = np.concatenate([r.weights for r in results])
     fail = (
@@ -147,6 +153,18 @@ def importance_sampling_estimate(
 
     pool = resolve_executor(executor, n_workers, backend)
     if pool is not None:
+        if (
+            getattr(proposal, "stateful_sample", False)
+            and not hasattr(proposal, "sample_shard")
+        ):
+            raise ValueError(
+                "sharded second stage requires a shard-aware proposal: "
+                f"{type(proposal).__name__}.sample() ignores the per-shard "
+                "rng (stateful_sample=True) but exposes no "
+                "sample_shard(offset, n); shards would draw overlapping or "
+                "schedule-dependent points. Run with n_workers=None or add "
+                "sample_shard to the proposal."
+            )
         weights, x, fail, n_failures = _sharded_second_stage(
             metric, spec, proposal, nominal, n_samples, rng, pool,
             int(shard_size), store_samples,

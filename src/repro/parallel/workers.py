@@ -120,14 +120,26 @@ class ISShardResult:
 
 
 def run_is_shard(task: ISShardTask) -> ISShardResult:
-    """Execute one second-stage shard with its own deterministic stream."""
+    """Execute one second-stage shard with its own deterministic stream.
+
+    Stateless proposals draw from the shard's child stream; a stateful
+    proposal (one whose ``sample`` ignores ``rng``, e.g. the Sobol-backed
+    :class:`~repro.stats.qmc.QMCNormal`) must expose ``sample_shard`` and
+    is given the shard's offset instead, so every worker — pickled copy or
+    thread sharing the caller's object — draws its own disjoint slice of
+    the one underlying sequence.
+    """
     # Local import: repro.mc.importance itself imports the parallel layer
     # for its sharded path, so the weight helper is resolved lazily here.
     from repro.mc.importance import importance_weights
 
     shard = task.shard
-    rng = np.random.default_rng(task.seed)
-    x = task.proposal.sample(shard.count, rng)
+    sample_shard = getattr(task.proposal, "sample_shard", None)
+    if sample_shard is not None:
+        x = sample_shard(shard.offset, shard.count)
+    else:
+        rng = np.random.default_rng(task.seed)
+        x = task.proposal.sample(shard.count, rng)
     fail = np.asarray(task.spec.indicator(task.metric(x)), dtype=bool)
     weights = importance_weights(x, fail, task.proposal, task.nominal)
     return ISShardResult(
@@ -147,10 +159,11 @@ def fold_external_counts(metric, executor, shard_results) -> None:
 
     Inline and thread backends share the caller's metric object, so a
     :class:`~repro.mc.counter.CountedMetric` has already counted every
-    worker evaluation; only the process backend isolates worker state, and
-    there the deltas come home inside the shard results.  Calling this
-    after every sharded run keeps first/second-stage accounting exact on
-    all backends.
+    worker evaluation (exactly — its increments are lock-guarded, so
+    concurrent threads never lose counts); only the process backend
+    isolates worker state, and there the deltas come home inside the shard
+    results.  Calling this after every sharded run keeps first/second-stage
+    accounting exact on all backends.
     """
     if executor is None or not executor.cross_process:
         return

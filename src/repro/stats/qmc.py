@@ -19,6 +19,7 @@ extension is that it drops into the existing flow unchanged:
 
 from __future__ import annotations
 
+import copy
 from typing import Optional
 
 import numpy as np
@@ -38,7 +39,20 @@ class QMCNormal:
     is ignored (the scramble seed fixed at construction governs
     randomisation); successive calls continue the sequence rather than
     restarting it, so a single instance never reuses points.
+
+    That makes the instance **stateful** — flagged by ``stateful_sample``
+    so sharded consumers never fan ``sample`` out blindly (pickled copies
+    would all restart at point 0; a shared engine is not thread-safe).
+    Shards instead call :meth:`sample_shard`, which draws a disjoint slice
+    of the one scrambled sequence from a fast-forwarded private copy of
+    the engine, and the parent calls :meth:`advance` once afterwards so
+    the instance still never reuses points.
     """
+
+    #: ``sample`` ignores ``rng`` and advances internal state.  Sharded
+    #: runs must go through :meth:`sample_shard` (see
+    #: :func:`repro.mc.importance.importance_sampling_estimate`).
+    stateful_sample = True
 
     def __init__(self, base: MultivariateNormal, seed: Optional[int] = None,
                  scramble: bool = True):
@@ -47,14 +61,43 @@ class QMCNormal:
         self._engine = qmc.Sobol(d=base.dimension, scramble=scramble, seed=seed)
         self._normal = StandardNormal()
 
-    def sample(self, n: int, rng: SeedLike = None) -> np.ndarray:
-        if n < 1:
-            raise ValueError(f"n must be positive, got {n}")
-        u = self._engine.random(n)
+    def _transform(self, u: np.ndarray) -> np.ndarray:
         # Guard the open-interval requirement of the inverse CDF.
         u = np.clip(u, 1e-12, 1.0 - 1e-12)
         z = self._normal.ppf(u)
         return self.base.mean + z @ self.base._chol.T
+
+    def sample(self, n: int, rng: SeedLike = None) -> np.ndarray:
+        if n < 1:
+            raise ValueError(f"n must be positive, got {n}")
+        return self._transform(self._engine.random(n))
+
+    def sample_shard(self, offset: int, n: int) -> np.ndarray:
+        """Draw sequence points ``[offset, offset + n)`` past the current position.
+
+        Operates on a deep copy of the engine — preserving the scramble
+        even when constructed with ``seed=None`` — fast-forwarded by
+        ``offset``, so concurrent shard draws are disjoint slices of the
+        single scrambled sequence and this instance's own position never
+        moves.  Concatenating shards ``[0, a)`` and ``[a, n)`` reproduces
+        ``sample(n)`` bit-for-bit; after a sharded run the caller advances
+        the parent by the total drawn (:meth:`advance`).
+        """
+        if n < 1:
+            raise ValueError(f"n must be positive, got {n}")
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        engine = copy.deepcopy(self._engine)
+        if offset:
+            engine.fast_forward(offset)
+        return self._transform(engine.random(n))
+
+    def advance(self, n: int) -> None:
+        """Skip ``n`` points, as if they had been drawn from this instance."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if n:
+            self._engine.fast_forward(n)
 
     def logpdf(self, x: np.ndarray) -> np.ndarray:
         return self.base.logpdf(x)

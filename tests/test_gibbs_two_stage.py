@@ -132,6 +132,21 @@ class TestFlowMechanics:
             metric.exact_failure_probability, rel=0.3
         )
 
+    def test_qmc_second_stage_sharded_matches_serial(self):
+        """The full flow with qmc_second_stage=True fans out correctly:
+        shards draw disjoint Sobol slices, so the parallel run reproduces
+        the serial run bit-exactly instead of replaying point 0."""
+        serial = gibbs_importance_sampling(
+            self.metric(), SPEC, n_gibbs=100, n_second_stage=2048,
+            qmc_second_stage=True, rng=9,
+        )
+        sharded = gibbs_importance_sampling(
+            self.metric(), SPEC, n_gibbs=100, n_second_stage=2048,
+            qmc_second_stage=True, rng=9, n_workers=2, backend="thread",
+        )
+        assert sharded.failure_probability == serial.failure_probability
+        assert sharded.relative_error == serial.relative_error
+
     def test_qmc_incompatible_with_mixture(self):
         with pytest.raises(ValueError, match="qmc_second_stage"):
             gibbs_importance_sampling(

@@ -114,6 +114,38 @@ class TestCountedMetric:
         with pytest.raises(ValueError, match="non-negative"):
             m.add_external(1, calls=-2)
 
+    def test_concurrent_counting_is_exact(self):
+        """Thread-backend shard workers share one instance; the lock must
+        keep the read-modify-write increments from losing counts."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        m = self.metric()
+        batch = np.zeros((3, 3))
+
+        def hammer(_):
+            for _ in range(200):
+                m(batch)
+                m.add_external(2, calls=1)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+        assert m.count == 8 * 200 * (3 + 2)
+        assert m.calls == 8 * 200 * 2
+
+    def test_pickle_roundtrip_recreates_lock(self):
+        """Process workers receive pickled copies; the lock must not block
+        pickling and the copy must count independently."""
+        import pickle
+
+        from repro.synthetic import LinearMetric
+
+        m = CountedMetric(LinearMetric(np.ones(3), 1.0))
+        m(np.zeros((4, 3)))
+        clone = pickle.loads(pickle.dumps(m))
+        clone(np.zeros((2, 3)))
+        clone.add_external(1)
+        assert clone.count == 7 and m.count == 4
+
 
 class TestConvergenceTrace:
     def test_from_weights_running_mean(self):

@@ -39,6 +39,49 @@ class TestQMCNormal:
         with pytest.raises(ValueError):
             prop.sample(0)
 
+    def test_marked_stateful(self):
+        assert QMCNormal(MultivariateNormal.standard(2), seed=0).stateful_sample
+
+    def test_shard_slices_concatenate_to_serial_draw(self):
+        """sample_shard(0, a) ++ sample_shard(a, n-a) == sample(n), bit-exact."""
+        base = MultivariateNormal(np.array([1.0, -2.0]), np.diag([4.0, 0.25]))
+        full = QMCNormal(base, seed=11).sample(256)
+        sharded = QMCNormal(base, seed=11)
+        pieces = np.vstack([
+            sharded.sample_shard(0, 100),
+            sharded.sample_shard(100, 100),
+            sharded.sample_shard(200, 56),
+        ])
+        np.testing.assert_array_equal(pieces, full)
+
+    def test_sample_shard_does_not_advance_parent(self):
+        prop = QMCNormal(MultivariateNormal.standard(2), seed=12)
+        reference = QMCNormal(MultivariateNormal.standard(2), seed=12).sample(64)
+        prop.sample_shard(0, 32)
+        prop.sample_shard(32, 32)
+        np.testing.assert_array_equal(prop.sample(64), reference)
+
+    def test_advance_skips_points(self):
+        full = QMCNormal(MultivariateNormal.standard(2), seed=13).sample(128)
+        prop = QMCNormal(MultivariateNormal.standard(2), seed=13)
+        prop.advance(48)
+        np.testing.assert_array_equal(prop.sample(80), full[48:])
+
+    def test_sample_shard_preserves_unseeded_scramble(self):
+        prop = QMCNormal(MultivariateNormal.standard(2))  # seed=None
+        np.testing.assert_array_equal(
+            prop.sample_shard(0, 16), prop.sample_shard(0, 16)
+        )
+
+    def test_sample_shard_invalid_args_raise(self):
+        prop = QMCNormal(MultivariateNormal.standard(2), seed=14)
+        with pytest.raises(ValueError):
+            prop.sample_shard(0, 0)
+        with pytest.raises(ValueError):
+            prop.sample_shard(-1, 8)
+        with pytest.raises(ValueError):
+            prop.advance(-1)
+
     def test_drop_in_for_importance_sampling(self):
         metric = LinearMetric(np.array([1.0, 0.0]), 3.5)
         base = MultivariateNormal(np.array([3.8, 0.0]), np.eye(2))
