@@ -41,6 +41,7 @@ def run_method(
     rng: SeedLike = None,
     n_second_stage: int = 10000,
     n_gibbs: int = 400,
+    n_chains: int = 1,
     doe_budget: Optional[int] = None,
     n_exploration: int = 5000,
     store_samples: bool = False,
@@ -58,17 +59,23 @@ def run_method(
         Second-stage budget N (for "MC": the total sample count).
     n_gibbs:
         First-stage chain length K for the Gibbs methods.
+    n_chains:
+        First-stage chain count C for the Gibbs methods (ignored by the
+        others).  With ``n_workers`` set as well, the chains fan out over
+        the worker pool (see :func:`repro.gibbs.two_stage.run_first_stage`).
     doe_budget:
         Surrogate budget for MNIS and the Gibbs starting point.
     n_exploration:
         Uniform exploration budget for MIS.
     n_workers:
         Shard the method's sampling stage (the second stage for the IS
-        methods, the whole run for "MC") across this many workers on
-        ``backend``; ``None`` keeps the serial paths.
+        methods, both stages for the Gibbs methods when ``n_chains > 1``,
+        the whole run for "MC") across this many workers on ``backend``;
+        ``None`` keeps the serial paths.
     kwargs:
         Forwarded to the method implementation (e.g. ``bisect_iters``,
-        ``proposal_fit``, ``lambda_original``).
+        ``proposal_fit``, ``lambda_original``, ``chain_group_size``,
+        ``shard_size``).
     """
     metric = CountedMetric(problem.metric, problem.dimension)
     if name == "MIS":
@@ -93,6 +100,7 @@ def run_method(
             metric, problem.spec,
             coordinate_system=system,
             n_gibbs=n_gibbs,
+            n_chains=n_chains,
             n_second_stage=n_second_stage,
             doe_budget=doe_budget,
             rng=rng, store_samples=store_samples,

@@ -25,8 +25,15 @@ from repro.mc.counter import CountedMetric
 from repro.mc.indicator import FailureSpec
 from repro.mc.results import EstimationResult
 from repro.modeling.surrogate import LinearSurrogate
+from repro.parallel.executor import resolve_executor
+from repro.parallel.sharding import merge_blockade_shards, plan_shards
+from repro.parallel.workers import (
+    BlockadeShardTask,
+    fold_external_counts,
+    run_blockade_shard,
+)
 from repro.stats.confidence import montecarlo_relative_error
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import SeedLike, ensure_rng, spawn_seed_sequences
 
 
 def statistical_blockade(
@@ -38,6 +45,9 @@ def statistical_blockade(
     blockade_percentile: float = 3.0,
     rng: SeedLike = None,
     chunk_size: int = 65536,
+    n_workers: Optional[int] = None,
+    backend: str = "process",
+    shard_size: int = 262144,
 ) -> EstimationResult:
     """Estimate P_f with classifier-filtered Monte Carlo.
 
@@ -52,6 +62,20 @@ def statistical_blockade(
         blockade threshold: candidates whose *predicted* margin falls below
         it are simulated, the rest are blocked.  3% is Singhee's
         recommended safety-margin regime for ~4-sigma tails.
+    n_workers:
+        ``None`` keeps the historical single-stream screening loop.  Any
+        integer shards the screening stage into ``shard_size``-candidate
+        slices with spawn-indexed child streams — the same worker layer as
+        the sharded Monte Carlo — so the tally is a function of the seed
+        and the shard grid only, identical for every worker count and
+        backend.  (Classifier training stays in the caller's stream and is
+        unaffected.)  Note the sharded path's generated candidates come
+        from child streams, not the caller's generator, so its numbers
+        differ from ``n_workers=None`` runs; each path is seed-stable.
+    shard_size:
+        Generated candidates per screening shard.  Larger than the MC/IS
+        defaults because blocked candidates cost almost nothing — only the
+        unblocked tail is simulated.
     """
     if not 0 < blockade_percentile < 100:
         raise ValueError(
@@ -69,18 +93,39 @@ def statistical_blockade(
     threshold = float(np.percentile(margins, blockade_percentile))
     train_failures = int(np.sum(margins < 0))
 
-    failures = 0
-    simulated = 0
-    generated = 0
-    while generated < n_samples:
-        take = min(chunk_size, n_samples - generated)
-        x = rng.standard_normal((take, dimension))
-        candidate = classifier.predict(x) < threshold
-        if np.any(candidate):
-            values = counted(x[candidate])
-            failures += int(np.sum(spec.indicator(values)))
-            simulated += int(candidate.sum())
-        generated += take
+    pool = resolve_executor(None, n_workers, backend)
+    if pool is not None:
+        shards = plan_shards(n_samples, int(shard_size))
+        seeds = spawn_seed_sequences(rng, len(shards))
+        tasks = [
+            BlockadeShardTask(
+                shard=shard,
+                seed=child,
+                metric=counted,
+                spec=spec,
+                classifier=classifier,
+                threshold=threshold,
+                dimension=dimension,
+                chunk_size=int(chunk_size),
+            )
+            for shard, child in zip(shards, seeds)
+        ]
+        results = pool.map(run_blockade_shard, tasks)
+        fold_external_counts(counted, pool, results)
+        failures, simulated = merge_blockade_shards(results, n_samples)
+    else:
+        failures = 0
+        simulated = 0
+        generated = 0
+        while generated < n_samples:
+            take = min(chunk_size, n_samples - generated)
+            x = rng.standard_normal((take, dimension))
+            candidate = classifier.predict(x) < threshold
+            if np.any(candidate):
+                values = counted(x[candidate])
+                failures += int(np.sum(spec.indicator(values)))
+                simulated += int(candidate.sum())
+            generated += take
 
     failures += train_failures  # training samples are honest MC draws too
     total = n_samples + n_train

@@ -59,12 +59,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="second-stage simulations N")
         p.add_argument("--n-gibbs", type=int, default=300,
                        help="first-stage Gibbs samples K")
+        p.add_argument("--n-chains", type=int, default=1,
+                       help="first-stage Gibbs chains C (Gibbs methods "
+                            "only); with --workers the chains fan out "
+                            "over the worker pool")
         p.add_argument("--doe-budget", type=int, default=None,
                        help="surrogate/DOE simulation budget")
         p.add_argument("--workers", type=int, default=None,
                        help="shard the sampling across this many worker "
-                            "processes (default: serial); results depend "
-                            "on the seed only, not the worker count")
+                            "processes (default: serial): the second "
+                            "stage always, and the first-stage chains "
+                            "when --n-chains > 1; results depend on the "
+                            "seed only, not the worker count")
+        p.add_argument("--adaptive-shards", action="store_true",
+                       help="size shards and chain groups from a "
+                            "metric-throughput probe (requires --workers); "
+                            "the probe numbers and chosen grid are "
+                            "recorded in the result extras")
+        p.add_argument("--verbose", action="store_true",
+                       help="print chain diagnostics and the adaptive "
+                            "sizing record")
 
     est = sub.add_parser("estimate", help="run one estimation method")
     add_common(est)
@@ -87,13 +101,63 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _adaptive_kwargs(args, method: str) -> Optional[dict]:
+    """Resolve ``--adaptive-shards`` into method kwargs (None on error)."""
+    if not args.adaptive_shards:
+        return {}
+    if args.workers is None:
+        print(
+            "error: --adaptive-shards tunes the parallel fan-out; "
+            "it requires --workers",
+            file=sys.stderr,
+        )
+        return None
+    if method in ("G-C", "G-S"):
+        return {"chain_group_size": "adaptive", "shard_size": "adaptive"}
+    print(
+        f"note: --adaptive-shards is ignored for {method} "
+        "(Gibbs methods only)",
+        file=sys.stderr,
+    )
+    return {}
+
+
+def _print_verbose_extras(result) -> None:
+    """``--verbose`` detail: mixing diagnostics and the adaptive record."""
+    diagnostics = result.extras.get("chain_diagnostics")
+    if diagnostics is not None:
+        print(f"chain mixing: {diagnostics.summary()}")
+    adaptive = result.extras.get("adaptive_sharding")
+    if adaptive is not None:
+        probe = adaptive["probe"]
+        print(
+            "adaptive sizing probe: "
+            f"{1e6 * probe['per_call_s']:.1f} us/call + "
+            f"{1e6 * probe['per_row_s']:.3f} us/row "
+            f"({probe['n_probe_sims']} probe simulations)"
+        )
+        chosen = {
+            key: adaptive[key]
+            for key in ("chain_group_size", "shard_size")
+            if key in adaptive
+        }
+        if chosen:
+            grid = ", ".join(f"{key}={value}" for key, value in chosen.items())
+            print(f"adaptive sizing chose: {grid}")
+
+
 def _cmd_estimate(args) -> int:
     problem = PROBLEMS[args.problem]()
     print(f"problem: {problem.description}")
+    adaptive = _adaptive_kwargs(args, args.method)
+    if adaptive is None:
+        return 2
     result = run_method(
         args.method, problem, rng=args.seed,
         n_second_stage=args.n_second, n_gibbs=args.n_gibbs,
+        n_chains=args.n_chains,
         doe_budget=args.doe_budget, n_workers=args.workers,
+        **adaptive,
     )
     print(result.summary())
     chain = result.extras.get("chain")
@@ -102,20 +166,33 @@ def _cmd_estimate(args) -> int:
             f"chain: {chain.n_samples} Gibbs samples at "
             f"{chain.simulations_per_sample:.1f} sims/sample"
         )
+    if args.verbose:
+        _print_verbose_extras(result)
     return 0
 
 
 def _cmd_compare(args) -> int:
     problem = PROBLEMS[args.problem]()
     print(f"problem: {problem.description}")
+    if args.adaptive_shards:
+        # Panel kwargs go to every method and the baselines take no sizing
+        # knobs; adaptive sizing is an `estimate` feature.
+        print(
+            "note: --adaptive-shards is ignored by compare "
+            "(use `estimate` with a Gibbs method)",
+            file=sys.stderr,
+        )
     results = compare_methods(
         problem, methods=tuple(args.methods), seed=args.seed,
         n_workers=args.workers,
         n_second_stage=args.n_second, n_gibbs=args.n_gibbs,
+        n_chains=args.n_chains,
         doe_budget=args.doe_budget,
     )
     for result in results.values():
         print(" ", result.summary())
+        if args.verbose:
+            _print_verbose_extras(result)
     if len(results) >= 2:
         print("agreement check:")
         print(check_agreement(results).summary())

@@ -233,6 +233,7 @@ class CartesianGibbs:
         n_samples: int,
         rng: SeedLike = None,
         verify_start: bool = True,
+        chain_rngs: Optional[list] = None,
     ) -> MultiChainGibbs:
         """Advance ``C`` chains synchronously for ``n_samples`` updates each.
 
@@ -247,10 +248,16 @@ class CartesianGibbs:
 
         With ``C = 1`` the generated chain is bit-for-bit identical to
         :meth:`run` under the same seed.
+
+        ``chain_rngs`` gives every chain its own generator instead of the
+        shared ``rng``.  Chain trajectories then depend only on their own
+        stream and starting point — not on which other chains share the
+        batch — so splitting the same chains (with the same streams) across
+        several lockstep calls reproduces identical trajectories.  This is
+        the contract the process-parallel first-stage fan-out builds on.
         """
         if n_samples < 1:
             raise ValueError(f"n_samples must be positive, got {n_samples}")
-        rng = ensure_rng(rng)
         states = np.atleast_2d(np.asarray(x0, dtype=float)).copy()
         if states.ndim != 2 or states.shape[1] != self.dimension:
             raise ValueError(
@@ -258,6 +265,15 @@ class CartesianGibbs:
                 f"(n_chains, {self.dimension})"
             )
         n_chains = states.shape[0]
+        if chain_rngs is not None:
+            if len(chain_rngs) != n_chains:
+                raise ValueError(
+                    f"chain_rngs has {len(chain_rngs)} generators for "
+                    f"{n_chains} chains"
+                )
+            draw_rng = [ensure_rng(r) for r in chain_rngs]
+        else:
+            draw_rng = ensure_rng(rng)
         per_chain = np.zeros(n_chains, dtype=int)
         if verify_start:
             failing = np.asarray(
@@ -281,7 +297,7 @@ class CartesianGibbs:
                 base=self._normal,
                 lo=-self.zeta,
                 hi=self.zeta,
-                rng=rng,
+                rng=draw_rng,
                 bisect_iters=self.bisect_iters,
             )
             per_chain += intervals.per_chain_simulations

@@ -80,9 +80,27 @@ def sample_conditional_batch(
     probability mass at CDF resolution, keeps its current value *and
     consumes no random draw*, so a single-chain lockstep run is bit-for-bit
     identical to the sequential sampler under the same rng.
+
+    ``rng`` may also be a *sequence* of generators, one per chain.  Each
+    chain's inverse-transform uniform then comes from its own stream (and
+    a chain that draws nothing consumes nothing from it), which decouples
+    the chains completely: a chain's trajectory becomes a function of its
+    own stream and starting point only, independent of how many chains
+    share the lockstep batch.  This is the mode the process-parallel
+    first-stage fan-out relies on — any grouping of chains into lockstep
+    calls reproduces the same per-chain trajectories bit for bit.
     """
-    rng = ensure_rng(rng)
     current = np.asarray(current, dtype=float).reshape(-1)
+    per_chain_rngs = None
+    if isinstance(rng, (list, tuple)):
+        if len(rng) != current.size:
+            raise ValueError(
+                f"got {len(rng)} per-chain generators for {current.size} "
+                "chains"
+            )
+        per_chain_rngs = [ensure_rng(r) for r in rng]
+    else:
+        rng = ensure_rng(rng)
     intervals = batched_failure_interval(fails, current, lo, hi, bisect_iters)
 
     new_values = current.copy()
@@ -97,7 +115,15 @@ def sample_conditional_batch(
         positive = mass > 0.0
         if positive.any():
             draw_idx = np.flatnonzero(valid)[positive]
-            u = rng.uniform(cdf_lo[positive], cdf_hi[positive])
+            if per_chain_rngs is None:
+                u = rng.uniform(cdf_lo[positive], cdf_hi[positive])
+            else:
+                u = np.array([
+                    per_chain_rngs[c].uniform(a, b)
+                    for c, a, b in zip(
+                        draw_idx, cdf_lo[positive], cdf_hi[positive]
+                    )
+                ])
             draw = np.asarray(base.ppf(u), dtype=float)
             new_values[draw_idx] = np.clip(
                 draw, lower[draw_idx], upper[draw_idx]

@@ -258,6 +258,7 @@ class SphericalGibbs:
         n_samples: int,
         rng: SeedLike = None,
         verify_start: bool = True,
+        chain_rngs: Optional[list] = None,
     ) -> MultiChainGibbs:
         """Advance ``C`` spherical chains synchronously (lockstep G-S).
 
@@ -268,10 +269,15 @@ class SphericalGibbs:
         chains, exactly as in :meth:`CartesianGibbs.run_lockstep`.  With
         ``C = 1`` the chain is bit-for-bit identical to :meth:`run` under
         the same seed.
+
+        ``chain_rngs`` assigns every chain its own generator (see
+        :meth:`CartesianGibbs.run_lockstep`): trajectories then no longer
+        depend on how chains are grouped into lockstep calls, which is what
+        lets the first-stage fan-out split chains across processes without
+        changing any number.
         """
         if n_samples < 1:
             raise ValueError(f"n_samples must be positive, got {n_samples}")
-        rng = ensure_rng(rng)
         alpha = np.atleast_2d(np.asarray(alpha0, dtype=float)).copy()
         if alpha.ndim != 2 or alpha.shape[1] != self.dimension:
             raise ValueError(
@@ -279,6 +285,15 @@ class SphericalGibbs:
                 f"(n_chains, {self.dimension})"
             )
         n_chains = alpha.shape[0]
+        if chain_rngs is not None:
+            if len(chain_rngs) != n_chains:
+                raise ValueError(
+                    f"chain_rngs has {len(chain_rngs)} generators for "
+                    f"{n_chains} chains"
+                )
+            draw_rng = [ensure_rng(r) for r in chain_rngs]
+        else:
+            draw_rng = ensure_rng(rng)
         r = np.asarray(r0, dtype=float).reshape(-1)
         if r.size not in (1, n_chains):
             raise ValueError(
@@ -316,7 +331,7 @@ class SphericalGibbs:
                 fails = self._radius_indicator_lockstep(self._unit_rows(alpha))
                 new_r, intervals = sample_conditional_batch(
                     fails, current=r, base=self._chi,
-                    lo=1e-9, hi=self.r_max, rng=rng,
+                    lo=1e-9, hi=self.r_max, rng=draw_rng,
                     bisect_iters=self.bisect_iters,
                 )
                 r = new_r
@@ -326,7 +341,7 @@ class SphericalGibbs:
                 fails = self._orientation_indicator_lockstep(r, alpha, m)
                 new_alpha_m, intervals = sample_conditional_batch(
                     fails, current=current, base=self._normal,
-                    lo=-self.zeta, hi=self.zeta, rng=rng,
+                    lo=-self.zeta, hi=self.zeta, rng=draw_rng,
                     bisect_iters=self.alpha_bisect_iters,
                 )
                 alpha[:, m] = new_alpha_m

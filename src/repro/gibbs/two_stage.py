@@ -24,15 +24,23 @@ are pooled for the ``g_nor`` fit.  Cross-chain mixing diagnostics
 ``extras["chain_diagnostics"]``.  ``n_chains=1`` takes exactly the
 sequential code path, so single-chain results are seed-stable across the
 two engines.
+
+With ``n_workers`` set as well, the first stage additionally **fans chain
+groups out over a worker pool** (see :func:`run_first_stage`): every chain
+owns the spawn-indexed child stream at its global chain index, so the
+merged chain is bit-identical for any group size, worker count and
+backend — the grouping is purely a performance knob, optionally sized by
+a metric-throughput probe (``chain_group_size="adaptive"``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import contextlib
+from typing import Callable, Optional, Union
 
 import numpy as np
 
-from repro.gibbs.cartesian import CartesianGibbs
+from repro.gibbs.cartesian import CartesianGibbs, MultiChainGibbs
 from repro.gibbs.coordinates import initial_spherical_coordinates
 from repro.gibbs.spherical import SphericalGibbs
 from repro.gibbs.starting_point import StartingPoint, find_starting_point
@@ -41,10 +49,23 @@ from repro.mc.diagnostics import diagnose_chains
 from repro.mc.importance import importance_sampling_estimate
 from repro.mc.indicator import FailureSpec
 from repro.mc.results import EstimationResult
+from repro.parallel.adaptive import (
+    adaptive_group_size,
+    adaptive_shard_size,
+    probe_metric_cost,
+)
+from repro.parallel.executor import ParallelExecutor, resolve_executor
+from repro.parallel.sharding import merge_chain_shards, plan_shards
+from repro.parallel.transport import should_use_shm
+from repro.parallel.workers import (
+    GibbsShardTask,
+    fold_external_counts,
+    run_gibbs_shard,
+)
 from repro.stats.mixture import GaussianMixture
 from repro.stats.mvnormal import MultivariateNormal
 from repro.stats.qmc import QMCNormal
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import SeedLike, ensure_rng, spawn_seed_sequences
 
 #: Method labels used throughout the experiment harness and the paper.
 LABELS = {"cartesian": "G-C", "spherical": "G-S"}
@@ -66,10 +87,14 @@ def _spread_starting_points(
     perturbed isotropically — each *verified to fail* before use (batched,
     one simulation per candidate, charged to the first stage like any other
     exploration cost).  Candidates that pass are retried with the jitter
-    halved, pulling them back toward the verified point; after a few rounds
-    any still-unplaced chain falls back to an exact copy of the verified
-    start (duplicate starts are harmless — the chains decorrelate through
-    their conditional draws).
+    halved, pulling them back toward the verified point.  If the attempt
+    budget (4 halving rounds) runs out with chains still unplaced, that is
+    a strong sign the failure region is a sliver the jitter keeps missing:
+    rather than silently reusing the same start for several chains — which
+    would quietly overstate the diversity the multi-chain diagnostics
+    report — a :class:`ValueError` names the unplaced chains and the two
+    honest ways out (shrink the jitter, or opt into duplicate starts
+    explicitly with ``chain_jitter=0``).
     """
     points = np.tile(start.x, (n_chains, 1))
     need = n_chains - 1
@@ -89,7 +114,89 @@ def _spread_starting_points(
         points[pending[failing]] = candidates[failing]
         pending = pending[~failing]
         scale *= 0.5
+    if pending.size:
+        raise ValueError(
+            f"could not verify distinct failure-region starting points for "
+            f"chains {pending.tolist()}: all jittered candidates still pass "
+            f"after 4 halving rounds (chain_jitter={jitter}). The failure "
+            f"region is likely much thinner than the jitter scale — lower "
+            f"chain_jitter (or n_chains), or pass chain_jitter=0 to start "
+            f"every chain at the one verified minimum-norm point."
+        )
     return points
+
+
+def run_first_stage(
+    metric: Callable,
+    spec: FailureSpec,
+    starts: np.ndarray,
+    n_gibbs: int,
+    executor: ParallelExecutor,
+    coordinate_system: str = "spherical",
+    seed: SeedLike = None,
+    chain_group_size: Optional[int] = None,
+    zeta: float = 8.0,
+    bisect_iters: int = 5,
+    epsilon: float = 1e-2,
+) -> MultiChainGibbs:
+    """Fan the first-stage chains out over an executor, in chain groups.
+
+    The shard grid partitions the ``C`` chains into contiguous groups of
+    ``chain_group_size`` (default: one group per worker); each group runs
+    one lockstep ``run_lockstep`` call in a :func:`run_gibbs_shard` worker.
+    Determinism is *stronger* than the grid-pinned contract of the sampled
+    stages: chain ``i`` always draws from the child stream at spawn index
+    ``i``, chains never share a stream, and the bisection searches between
+    draws are RNG-free — so the merged chain is bit-identical for **any**
+    group size, worker count and backend, and equals one direct
+    ``run_lockstep(chain_rngs=...)`` call over all chains.  Group size is
+    therefore a pure performance knob (see
+    :func:`repro.parallel.adaptive.adaptive_group_size`).
+
+    ``starts`` must already be verified failure points (see
+    ``_spread_starting_points``); workers skip re-verification so the
+    fan-out costs exactly the same simulations as the single-process path.
+    Sample tensors travel back via shared memory when the executor crosses
+    process boundaries and the payload is large enough
+    (:func:`repro.parallel.transport.should_use_shm`).
+
+    Parameters
+    ----------
+    seed:
+        Seed-like source of the per-chain streams.  Passing the flow's
+        generator draws one integer from it (see ``as_seed_sequence``), so
+        the chain streams are pinned by the flow's seed exactly once,
+        before any grouping decision.
+    """
+    starts = np.atleast_2d(np.asarray(starts, dtype=float))
+    n_chains, dimension = starts.shape
+    if chain_group_size is None:
+        chain_group_size = -(-n_chains // executor.n_workers)
+    chain_seeds = spawn_seed_sequences(seed, n_chains)
+    shards = plan_shards(n_chains, int(chain_group_size))
+    tasks = []
+    for shard in shards:
+        lo, hi = shard.offset, shard.offset + shard.count
+        payload_bytes = shard.count * n_gibbs * dimension * 8
+        tasks.append(
+            GibbsShardTask(
+                shard=shard,
+                chain_seeds=chain_seeds[lo:hi],
+                metric=metric,
+                spec=spec,
+                dimension=dimension,
+                coordinate_system=coordinate_system,
+                starts=starts[lo:hi],
+                n_gibbs=int(n_gibbs),
+                zeta=zeta,
+                bisect_iters=bisect_iters,
+                epsilon=epsilon,
+                shm_payloads=should_use_shm(executor, payload_bytes),
+            )
+        )
+    results = executor.map(run_gibbs_shard, tasks)
+    fold_external_counts(metric, executor, results)
+    return merge_chain_shards(results, n_chains)
 
 
 def gibbs_importance_sampling(
@@ -114,6 +221,8 @@ def gibbs_importance_sampling(
     store_samples: bool = False,
     n_workers: Optional[int] = None,
     backend: str = "process",
+    chain_group_size: Union[None, int, str] = None,
+    shard_size: Union[int, str] = 8192,
 ) -> EstimationResult:
     """Run the full G-C / G-S failure-rate prediction flow.
 
@@ -150,15 +259,35 @@ def gibbs_importance_sampling(
         Keep second-stage samples and pass/fail labels in ``extras`` for
         the scatter-plot reproductions.
     n_workers:
-        Shard the second stage across cores (see
-        :func:`repro.mc.importance.importance_sampling_estimate`); the
-        first-stage chain remains sequential by construction.
+        Parallelise *both* stages across cores.  The second stage shards
+        into ``shard_size``-sample slices (see
+        :func:`repro.mc.importance.importance_sampling_estimate`); with
+        ``n_chains > 1`` the first stage fans chain groups out over the
+        same worker pool (see :func:`run_first_stage`), each chain on its
+        own spawn-indexed stream so the merged chain is bit-identical for
+        every worker count, backend and group size.  A single persistent
+        pool serves both stages.  Note the parallel first stage draws
+        per-chain streams rather than the legacy shared-generator lockstep
+        draws, so its numbers differ from ``n_workers=None`` multi-chain
+        runs (each path is internally seed-stable).
+    chain_group_size:
+        Chains per first-stage worker task.  ``None`` splits the chains
+        evenly over the workers; an integer pins the group size;
+        ``"adaptive"`` sizes groups from a metric-throughput probe
+        (:func:`repro.parallel.adaptive.adaptive_group_size`).  Pure
+        performance knob — results never depend on it.
+    shard_size:
+        Second-stage samples per shard, or ``"adaptive"`` to size shards
+        from the same probe.  Unlike the chain grouping, this value *does*
+        select which stream draws which sample, so an adaptive choice is
+        recorded in ``extras["adaptive_sharding"]`` for bit-exact replays.
 
     Returns
     -------
     :class:`~repro.mc.results.EstimationResult` with method label "G-C" or
     "G-S"; ``extras`` carries the chain, the starting point and the fitted
-    proposal.
+    proposal, plus ``adaptive_sharding`` (probe costs and the chosen grid)
+    when adaptive sizing ran.
     """
     if coordinate_system not in LABELS:
         raise ValueError(
@@ -172,85 +301,136 @@ def gibbs_importance_sampling(
         metric, dimension
     )
     dimension = counted.dimension
+    pool = resolve_executor(None, n_workers, backend)
+
+    adaptive_requested = "adaptive" in (chain_group_size, shard_size)
+    if adaptive_requested and pool is None:
+        raise ValueError(
+            "adaptive shard/group sizing tunes the parallel fan-out; "
+            "pass n_workers to enable it (the serial path has no shards)"
+        )
     stage1_start = counted.checkpoint()
 
-    if start is None:
-        start = find_starting_point(
-            counted, spec, dimension, rng,
-            doe_budget=doe_budget, order=surrogate_order,
-            epsilon=epsilon, zeta=zeta,
-        )
+    adaptive_record = None
+    if adaptive_requested:
+        # The probe's own draws come from a fixed child stream, so it never
+        # perturbs the flow's generator; its simulations are real and are
+        # charged to the first stage through ``counted``.
+        probe = probe_metric_cost(counted, dimension)
+        adaptive_record = {"probe": probe.as_extras()}
+        if chain_group_size == "adaptive":
+            chain_group_size = adaptive_group_size(
+                n_chains, probe, n_workers=pool.n_workers, n_gibbs=n_gibbs
+            )
+            adaptive_record["chain_group_size"] = int(chain_group_size)
+        if shard_size == "adaptive":
+            shard_size = adaptive_shard_size(
+                n_second_stage, probe, n_workers=pool.n_workers
+            )
+            adaptive_record["shard_size"] = int(shard_size)
 
-    if coordinate_system == "cartesian":
-        sampler = CartesianGibbs(
-            counted, spec, dimension, zeta=zeta, bisect_iters=bisect_iters
-        )
+    # One persistent pool serves starting-point-free first-stage fan-out
+    # and the sharded second stage; inline/serial executors make this a
+    # no-op (see ParallelExecutor.__enter__).
+    with pool if pool is not None else contextlib.nullcontext():
+        if start is None:
+            start = find_starting_point(
+                counted, spec, dimension, rng,
+                doe_budget=doe_budget, order=surrogate_order,
+                epsilon=epsilon, zeta=zeta,
+            )
+
         if n_chains == 1:
-            chain = sampler.run(start.x, n_gibbs, rng)
+            if coordinate_system == "cartesian":
+                sampler = CartesianGibbs(
+                    counted, spec, dimension, zeta=zeta,
+                    bisect_iters=bisect_iters,
+                )
+                chain = sampler.run(start.x, n_gibbs, rng)
+            else:
+                sampler = SphericalGibbs(
+                    counted, spec, dimension, zeta=zeta,
+                    bisect_iters=bisect_iters,
+                )
+                chain = sampler.run(start.r, start.alpha, n_gibbs, rng)
         else:
             starts_x = _spread_starting_points(
                 counted, spec, start, n_chains, rng, zeta, chain_jitter
             )
-            chain = sampler.run_lockstep(
-                starts_x, n_gibbs, rng, verify_start=False
-            )
-    else:
-        sampler = SphericalGibbs(
-            counted, spec, dimension, zeta=zeta, bisect_iters=bisect_iters
-        )
-        if n_chains == 1:
-            chain = sampler.run(start.r, start.alpha, n_gibbs, rng)
-        else:
-            starts_x = _spread_starting_points(
-                counted, spec, start, n_chains, rng, zeta, chain_jitter
-            )
-            spherical = [
-                initial_spherical_coordinates(point, epsilon)
-                for point in starts_x
-            ]
-            chain = sampler.run_lockstep(
-                np.array([r for r, _ in spherical]),
-                np.vstack([alpha for _, alpha in spherical]),
-                n_gibbs,
-                rng,
-                verify_start=False,
-            )
+            if pool is not None:
+                chain = run_first_stage(
+                    counted, spec, starts_x, n_gibbs, pool,
+                    coordinate_system=coordinate_system,
+                    seed=rng,
+                    chain_group_size=chain_group_size,
+                    zeta=zeta, bisect_iters=bisect_iters, epsilon=epsilon,
+                )
+            elif coordinate_system == "cartesian":
+                sampler = CartesianGibbs(
+                    counted, spec, dimension, zeta=zeta,
+                    bisect_iters=bisect_iters,
+                )
+                chain = sampler.run_lockstep(
+                    starts_x, n_gibbs, rng, verify_start=False
+                )
+            else:
+                sampler = SphericalGibbs(
+                    counted, spec, dimension, zeta=zeta,
+                    bisect_iters=bisect_iters,
+                )
+                spherical = [
+                    initial_spherical_coordinates(point, epsilon)
+                    for point in starts_x
+                ]
+                chain = sampler.run_lockstep(
+                    np.array([r for r, _ in spherical]),
+                    np.vstack([alpha for _, alpha in spherical]),
+                    n_gibbs,
+                    rng,
+                    verify_start=False,
+                )
 
-    fit_samples = chain.samples if n_chains == 1 else chain.pooled_samples
-    if proposal_fit == "normal":
-        proposal = MultivariateNormal.fit(fit_samples)
-        if qmc_second_stage:
-            proposal = QMCNormal(proposal, seed=int(rng.integers(0, 2**31 - 1)))
-    elif proposal_fit == "mixture":
-        if qmc_second_stage:
+        fit_samples = chain.samples if n_chains == 1 else chain.pooled_samples
+        if proposal_fit == "normal":
+            proposal = MultivariateNormal.fit(fit_samples)
+            if qmc_second_stage:
+                proposal = QMCNormal(
+                    proposal, seed=int(rng.integers(0, 2**31 - 1))
+                )
+        elif proposal_fit == "mixture":
+            if qmc_second_stage:
+                raise ValueError(
+                    "qmc_second_stage is only supported with "
+                    "proposal_fit='normal'"
+                )
+            proposal = GaussianMixture.fit(
+                fit_samples, n_components=mixture_components, rng=rng
+            )
+        else:
             raise ValueError(
-                "qmc_second_stage is only supported with proposal_fit='normal'"
+                f"proposal_fit must be 'normal' or 'mixture', "
+                f"got {proposal_fit!r}"
             )
-        proposal = GaussianMixture.fit(
-            fit_samples, n_components=mixture_components, rng=rng
-        )
-    else:
-        raise ValueError(
-            f"proposal_fit must be 'normal' or 'mixture', got {proposal_fit!r}"
-        )
 
-    extras = {"chain": chain, "starting_point": start}
-    # Split R-hat needs at least 4 samples per chain; for shorter (toy)
-    # runs the estimate is still valid, only the diagnostics are skipped.
-    if n_chains > 1 and n_gibbs >= 4:
-        extras["chain_diagnostics"] = diagnose_chains(chain)
+        extras = {"chain": chain, "starting_point": start}
+        if adaptive_record is not None:
+            extras["adaptive_sharding"] = adaptive_record
+        # Split R-hat needs at least 4 samples per chain; for shorter (toy)
+        # runs the estimate is still valid, only the diagnostics are skipped.
+        if n_chains > 1 and n_gibbs >= 4:
+            extras["chain_diagnostics"] = diagnose_chains(chain)
 
-    n_first_stage = counted.checkpoint() - stage1_start
-    return importance_sampling_estimate(
-        counted,
-        spec,
-        proposal,
-        n_second_stage,
-        method=LABELS[coordinate_system],
-        rng=rng,
-        n_first_stage=n_first_stage,
-        store_samples=store_samples,
-        extras=extras,
-        n_workers=n_workers,
-        backend=backend,
-    )
+        n_first_stage = counted.checkpoint() - stage1_start
+        return importance_sampling_estimate(
+            counted,
+            spec,
+            proposal,
+            n_second_stage,
+            method=LABELS[coordinate_system],
+            rng=rng,
+            n_first_stage=n_first_stage,
+            store_samples=store_samples,
+            extras=extras,
+            executor=pool,
+            shard_size=int(shard_size),
+        )

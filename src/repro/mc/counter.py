@@ -51,6 +51,12 @@ class CountedMetric:
         #: amortises per-call overhead — the lockstep multi-chain engine
         #: drives ``count / calls`` up without touching ``count``.
         self.calls = 0
+        #: Portion of ``count`` folded in from worker processes via
+        #: :meth:`add_external` — zero on the serial/thread paths, where
+        #: every evaluation goes through this instance directly.  Lets the
+        #: CLI's verbose accounting show how much of the total cost was
+        #: paid across process boundaries.
+        self.external_count = 0
         self._lock = threading.Lock()
 
     def __getstate__(self):
@@ -90,6 +96,7 @@ class CountedMetric:
         with self._lock:
             self.count += int(n)
             self.calls += int(calls)
+            self.external_count += int(n)
 
     def checkpoint(self) -> int:
         """Current count, for before/after accounting of one flow stage."""
@@ -99,6 +106,13 @@ class CountedMetric:
         with self._lock:
             self.count = 0
             self.calls = 0
+            self.external_count = 0
 
     def __repr__(self) -> str:
-        return f"CountedMetric({self.count} simulations, M={self.dimension})"
+        external = (
+            f", {self.external_count} via workers" if self.external_count else ""
+        )
+        return (
+            f"CountedMetric({self.count} simulations{external}, "
+            f"M={self.dimension})"
+        )

@@ -15,14 +15,16 @@ central claim (Gibbs sampling learns a better ``g_nor``).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
 from repro.mc.indicator import FailureSpec
 from repro.mc.results import ConvergenceTrace, EstimationResult
+from repro.parallel.adaptive import adaptive_shard_size, probe_metric_cost
 from repro.parallel.executor import ParallelExecutor, resolve_executor
 from repro.parallel.sharding import plan_shards
+from repro.parallel.transport import should_use_shm, unpack_array
 from repro.parallel.workers import ISShardTask, fold_external_counts, run_is_shard
 from repro.stats.confidence import relative_error
 from repro.stats.mvnormal import MultivariateNormal
@@ -59,6 +61,7 @@ def _sharded_second_stage(
     executor: ParallelExecutor,
     shard_size: int,
     store_samples: bool,
+    dimension: int,
 ):
     """Fan the second stage out in shards; merge weights in sample order.
 
@@ -67,9 +70,17 @@ def _sharded_second_stage(
     shard-aware stateful proposal, the sequence slice at its shard offset
     — so the merged weight vector, and everything derived from it, is
     bit-identical for any worker count and backend.
+
+    Stored sample arrays ride home through shared memory rather than the
+    result pickle when the executor crosses process boundaries and the
+    shard payload is large enough (:func:`should_use_shm`); transport
+    never changes the numbers, only the copy cost.
     """
     shards = plan_shards(n_samples, shard_size)
     seeds = spawn_seed_sequences(seed, len(shards))
+    shm_payloads = store_samples and should_use_shm(
+        executor, shard_size * dimension * 8
+    )
     tasks = [
         ISShardTask(
             shard=shard,
@@ -79,6 +90,7 @@ def _sharded_second_stage(
             proposal=proposal,
             nominal=nominal,
             store_samples=store_samples,
+            shm_payloads=shm_payloads,
         )
         for shard, child in zip(shards, seeds)
     ]
@@ -95,7 +107,9 @@ def _sharded_second_stage(
         np.concatenate([r.failed for r in results]) if store_samples else None
     )
     x = (
-        np.concatenate([r.samples for r in results]) if store_samples else None
+        np.concatenate([unpack_array(r.samples) for r in results])
+        if store_samples
+        else None
     )
     n_failures = sum(r.n_failures for r in results)
     return weights, x, fail, n_failures
@@ -115,7 +129,7 @@ def importance_sampling_estimate(
     extras: Optional[dict] = None,
     n_workers: Optional[int] = None,
     backend: str = "process",
-    shard_size: int = 8192,
+    shard_size: Union[int, str] = 8192,
     executor: Optional[ParallelExecutor] = None,
 ) -> EstimationResult:
     """Run the second stage: sample ``proposal``, weight, estimate.
@@ -141,6 +155,14 @@ def importance_sampling_estimate(
         with per-shard child streams, run ``n_workers`` at a time on
         ``backend``; the estimate is then a function of the seed and the
         shard grid only, identical for every worker count and backend.
+    shard_size:
+        Samples per shard, or ``"adaptive"`` to size shards from a
+        metric-throughput probe
+        (:func:`~repro.parallel.adaptive.adaptive_shard_size`).  The shard
+        grid selects which stream draws which sample, so an adaptive
+        choice is part of the run's identity: the probe numbers and the
+        chosen size land in ``extras["adaptive_sharding"]`` and a rerun
+        passes the recorded integer to reproduce the estimate bit for bit.
     executor:
         Prebuilt :class:`~repro.parallel.ParallelExecutor`; overrides
         ``n_workers``/``backend``.
@@ -152,6 +174,21 @@ def importance_sampling_estimate(
         nominal = MultivariateNormal.standard(dimension)
 
     pool = resolve_executor(executor, n_workers, backend)
+    adaptive_record = None
+    if shard_size == "adaptive":
+        if pool is None:
+            raise ValueError(
+                "shard_size='adaptive' tunes the sharded path; pass "
+                "n_workers (or an executor) to enable it"
+            )
+        probe = probe_metric_cost(metric, dimension)
+        shard_size = adaptive_shard_size(
+            n_samples, probe, n_workers=pool.n_workers
+        )
+        adaptive_record = {
+            "probe": probe.as_extras(),
+            "shard_size": int(shard_size),
+        }
     if pool is not None:
         if (
             getattr(proposal, "stateful_sample", False)
@@ -167,7 +204,7 @@ def importance_sampling_estimate(
             )
         weights, x, fail, n_failures = _sharded_second_stage(
             metric, spec, proposal, nominal, n_samples, rng, pool,
-            int(shard_size), store_samples,
+            int(shard_size), store_samples, int(dimension),
         )
     else:
         rng = ensure_rng(rng)
@@ -177,6 +214,8 @@ def importance_sampling_estimate(
         n_failures = int(fail.sum())
 
     result_extras = dict(extras or {})
+    if adaptive_record is not None:
+        result_extras["adaptive_sharding"] = adaptive_record
     result_extras["proposal"] = proposal
     result_extras["n_failures"] = int(n_failures)
     if store_samples:

@@ -22,6 +22,12 @@ contract and the wiring into ``brute_force_monte_carlo``,
 ``importance_sampling_estimate`` and the experiment panels.
 """
 
+from repro.parallel.adaptive import (
+    ProbeReport,
+    adaptive_group_size,
+    adaptive_shard_size,
+    probe_metric_cost,
+)
 from repro.parallel.executor import (
     BACKENDS,
     ParallelExecutor,
@@ -31,16 +37,31 @@ from repro.parallel.executor import (
 from repro.parallel.sharding import (
     Shard,
     checkpoint_grid,
+    merge_blockade_shards,
+    merge_chain_shards,
     merge_mc_shards,
     merge_weight_shards,
     plan_shards,
 )
+from repro.parallel.transport import (
+    SHM_AVAILABLE,
+    ShmArrayHandle,
+    export_array,
+    import_array,
+    should_use_shm,
+)
 from repro.parallel.workers import (
+    BlockadeShardResult,
+    BlockadeShardTask,
+    GibbsShardResult,
+    GibbsShardTask,
     ISShardResult,
     ISShardTask,
     MCShardResult,
     MCShardTask,
     fold_external_counts,
+    run_blockade_shard,
+    run_gibbs_shard,
     run_is_shard,
     run_mc_shard,
 )
@@ -56,12 +77,29 @@ __all__ = [
     "checkpoint_grid",
     "merge_mc_shards",
     "merge_weight_shards",
+    "merge_chain_shards",
+    "merge_blockade_shards",
     "MCShardTask",
     "MCShardResult",
     "ISShardTask",
     "ISShardResult",
+    "GibbsShardTask",
+    "GibbsShardResult",
+    "BlockadeShardTask",
+    "BlockadeShardResult",
     "run_mc_shard",
     "run_is_shard",
+    "run_gibbs_shard",
+    "run_blockade_shard",
     "fold_external_counts",
     "spawn_seed_sequences",
+    "SHM_AVAILABLE",
+    "ShmArrayHandle",
+    "export_array",
+    "import_array",
+    "should_use_shm",
+    "ProbeReport",
+    "probe_metric_cost",
+    "adaptive_shard_size",
+    "adaptive_group_size",
 ]

@@ -1,0 +1,203 @@
+"""Adaptive shard sizing from a metric-throughput probe.
+
+The static ``shard_size`` default of the sharded second stage (8192) and
+the first-stage chain grouping are tuned for "a vectorised numpy metric on
+a laptop".  A SPICE-backed metric is orders of magnitude slower per row; a
+trivial synthetic metric is dominated by per-call overhead.  Both have the
+same cure: measure the metric once, briefly, and size shards so each takes
+a target wall-clock slice — long enough to amortise task dispatch, short
+enough to load-balance across workers.
+
+Two layers keep this reproducible:
+
+* :func:`probe_metric_cost` is the only part that touches a clock.  Its
+  *sample draws* are deterministic (a child stream spawned from the given
+  seed), and the timer is injectable, so tests pin the arithmetic exactly.
+* :func:`adaptive_shard_size` / :func:`adaptive_group_size` are pure
+  functions of the probe report — given the same measured numbers they
+  always pick the same grid.
+
+Because a second-stage shard grid *changes which stream draws which
+sample*, an adaptively chosen ``shard_size`` is part of the experiment's
+identity: callers record it (and the probe numbers behind it) in
+``EstimationResult.extras["adaptive_sharding"]`` so a rerun can pass the
+recorded size explicitly and reproduce the run bit for bit.  First-stage
+chain groups carry no such caveat — per-chain RNG streams make chain
+trajectories independent of the grouping — so there the choice is purely
+a performance knob.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, spawn_seed_sequences
+
+#: Default wall-clock slice one shard should occupy.  Large enough that
+#: process dispatch (~ms) is noise, small enough that a straggler shard
+#: cannot idle the other workers for long.
+DEFAULT_TARGET_SHARD_SECONDS = 0.2
+
+
+@dataclass(frozen=True)
+class ProbeReport:
+    """Measured per-call and per-row cost of one metric.
+
+    ``per_call_s`` is the fixed overhead of issuing a batched call;
+    ``per_row_s`` the marginal cost of one extra sample in the batch.
+    Both come from timing two batch sizes and solving the 2-point linear
+    model, with a min-over-repeats to shed scheduler noise.
+    """
+
+    per_call_s: float
+    per_row_s: float
+    probe_rows: Tuple[int, ...]
+    repeats: int
+    n_probe_sims: int
+
+    def rows_for_budget(self, seconds: float) -> int:
+        """Rows one call can evaluate inside ``seconds`` (at least 1)."""
+        if self.per_row_s <= 0.0:
+            return 1 << 30  # effectively unbounded: cost is all overhead
+        return max(int((seconds - self.per_call_s) / self.per_row_s), 1)
+
+    def as_extras(self) -> dict:
+        """JSON-friendly record for ``EstimationResult.extras``."""
+        return {
+            "per_call_s": float(self.per_call_s),
+            "per_row_s": float(self.per_row_s),
+            "probe_rows": list(self.probe_rows),
+            "repeats": int(self.repeats),
+            "n_probe_sims": int(self.n_probe_sims),
+        }
+
+
+def probe_metric_cost(
+    metric: Callable,
+    dimension: int,
+    seed: SeedLike = 0,
+    probe_rows: Tuple[int, int] = (16, 512),
+    repeats: int = 3,
+    timer: Callable[[], float] = time.perf_counter,
+) -> ProbeReport:
+    """Time the metric at two batch sizes and fit the linear cost model.
+
+    The probe points are standard-normal draws from a child stream spawned
+    off ``seed`` — deterministic, so probing never perturbs any other
+    stream, and two probes with the same seed evaluate identical points.
+    Simulations spent here are real metric evaluations; callers that
+    account costs should call through their :class:`CountedMetric`.
+
+    ``timer`` is injectable for tests: with a fake clock the whole report
+    is a pure function of its inputs.
+    """
+    small, large = (int(r) for r in probe_rows)
+    if not 0 < small < large:
+        raise ValueError(
+            f"probe_rows must be two increasing positive sizes, got {probe_rows}"
+        )
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    (child,) = spawn_seed_sequences(seed, 1)
+    rng = np.random.default_rng(child)
+    x_small = rng.standard_normal((small, dimension))
+    x_large = rng.standard_normal((large, dimension))
+
+    def best_of(x: np.ndarray) -> float:
+        best = np.inf
+        for _ in range(repeats):
+            t0 = timer()
+            metric(x)
+            best = min(best, timer() - t0)
+        return best
+
+    t_small = best_of(x_small)
+    t_large = best_of(x_large)
+    per_row = max((t_large - t_small) / (large - small), 0.0)
+    per_call = max(t_small - per_row * small, 0.0)
+    return ProbeReport(
+        per_call_s=per_call,
+        per_row_s=per_row,
+        probe_rows=(small, large),
+        repeats=int(repeats),
+        n_probe_sims=(small + large) * int(repeats),
+    )
+
+
+def _clamp_pow2(value: int, lo: int, hi: int) -> int:
+    """Round ``value`` down to a power of two inside ``[lo, hi]``.
+
+    Snapping to powers of two collapses the continuum of timing outcomes
+    onto a coarse grid: neighbouring machines (or reruns on a noisy one)
+    land on the *same* shard size unless their throughput genuinely
+    differs by ~2x, which keeps adaptively-sized runs stable in practice
+    even before the recorded-grid replay kicks in.
+    """
+    value = int(min(max(value, lo), hi))
+    return 1 << (value.bit_length() - 1)
+
+
+def adaptive_shard_size(
+    n_total: int,
+    report: ProbeReport,
+    n_workers: int = 1,
+    target_shard_seconds: float = DEFAULT_TARGET_SHARD_SECONDS,
+    min_size: int = 64,
+    max_size: int = 1 << 16,
+) -> int:
+    """Pick a second-stage ``shard_size`` from measured per-row cost.
+
+    Pure and deterministic given the report.  Three forces, in order:
+    a shard should run for about ``target_shard_seconds``; the grid should
+    offer at least ~4 shards per worker so the pool can load-balance; and
+    the result is snapped to a power of two in ``[min_size, max_size]``
+    (see :func:`_clamp_pow2`) and never exceeds ``n_total``.
+    """
+    if n_total < 1:
+        raise ValueError(f"n_total must be positive, got {n_total}")
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    by_time = report.rows_for_budget(target_shard_seconds)
+    by_balance = max(n_total // (4 * n_workers), 1)
+    size = _clamp_pow2(min(by_time, by_balance), min_size, max_size)
+    return min(size, n_total)
+
+
+def adaptive_group_size(
+    n_chains: int,
+    report: ProbeReport,
+    n_workers: int = 1,
+    sims_per_update: float = 12.0,
+    n_gibbs: int = 400,
+    target_group_seconds: float = DEFAULT_TARGET_SHARD_SECONDS,
+) -> int:
+    """Pick the first-stage chain-group size from measured metric cost.
+
+    A group of ``g`` chains runs one lockstep ``run_lockstep`` call: its
+    wall-clock is roughly ``n_gibbs * sims_per_update`` metric *calls*
+    (batched across the group, so per-call overhead dominates for small
+    groups) plus ``g`` rows per call.  Slow metrics push toward groups of
+    1 (maximum parallelism); fast metrics toward larger groups (fewer
+    processes, better batching).  Deterministic given the report; always
+    in ``[1, ceil(n_chains / n_workers)]`` so every worker can get work.
+    """
+    if n_chains < 1:
+        raise ValueError(f"n_chains must be positive, got {n_chains}")
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    per_worker = -(-n_chains // n_workers)  # ceil division
+    n_updates = max(float(n_gibbs) * float(sims_per_update), 1.0)
+    # Wall-clock of a 1-chain group's whole lockstep run; if even that
+    # exceeds the target, no grouping is cheap enough — parallelise at the
+    # finest grain.  Otherwise grow the group until the *extra rows* per
+    # run would push it past the target.
+    base_run_s = n_updates * (report.per_call_s + report.per_row_s)
+    if base_run_s >= target_group_seconds:
+        return 1
+    extra_row_s = max(n_updates * report.per_row_s, 1e-12)
+    growth = int((target_group_seconds - base_run_s) / extra_row_s) + 1
+    return int(min(max(growth, 1), per_worker))

@@ -83,6 +83,7 @@ class ParallelExecutor:
         self.n_workers = n_workers
         self.backend = backend
         self.mp_context = mp_context
+        self._pool = None
 
     @property
     def runs_inline(self) -> bool:
@@ -101,18 +102,45 @@ class ParallelExecutor:
         """
         return self.backend == "process" and not self.runs_inline
 
+    def __enter__(self) -> "ParallelExecutor":
+        """Open a persistent worker pool reused by every ``map`` call.
+
+        Outside a ``with`` block each ``map`` builds and tears down its own
+        pool — correct, but a multi-stage flow (first-stage chain groups,
+        then second-stage shards) then pays worker startup per stage.
+        Inside the block the pool is created once, ``map`` reuses it, and
+        ``__exit__`` shuts it down.  Inline execution has no pool; the
+        context manager is then a no-op.
+        """
+        if self._pool is None and not self.runs_inline:
+            if self.backend == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+            else:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers, mp_context=self.mp_context
+                )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
     def map(self, fn: Callable, tasks: Sequence) -> List:
         """Apply a top-level function to every task; results stay ordered.
 
         ``fn`` must be a module-level callable and each task picklable when
         the process backend is active.  Exceptions raised by any task
-        propagate to the caller (after the pool has been torn down).
+        propagate to the caller (after a per-call pool has been torn down;
+        a persistent pool opened with ``with executor:`` stays up).
         """
         tasks = list(tasks)
         if not tasks:
             return []
         if self.runs_inline:
             return [fn(task) for task in tasks]
+        if self._pool is not None:
+            return list(self._pool.map(fn, tasks))
         workers = min(self.n_workers, len(tasks))
         if self.backend == "thread":
             with ThreadPoolExecutor(max_workers=workers) as pool:

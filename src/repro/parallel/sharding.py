@@ -124,3 +124,60 @@ def merge_weight_shards(shard_results: Sequence) -> np.ndarray:
     """Concatenate IS shard weights in shard-index (global sample) order."""
     ordered = sorted(shard_results, key=lambda r: r.index)
     return np.concatenate([np.asarray(r.weights, dtype=float) for r in ordered])
+
+
+def merge_chain_shards(shard_results: Sequence, n_chains: int):
+    """Merge first-stage chain-group shards into one ``MultiChainGibbs``.
+
+    Walks the groups in shard-index order — chain order — concatenating
+    each group's sample tensor, per-chain simulation counts and interval
+    widths, and resolving shared-memory payload handles on the way (see
+    :mod:`repro.parallel.transport`).  Because every chain drew from the
+    spawn-indexed stream at its *global* chain index, the merged object is
+    exactly what one ``run_lockstep`` call over all ``n_chains`` chains
+    (with the same per-chain streams) would have produced.
+    """
+    # Local import: repro.gibbs pulls in repro.mc.importance, which imports
+    # this package — resolve the container lazily to stay cycle-free.
+    from repro.gibbs.cartesian import MultiChainGibbs
+
+    from repro.parallel.transport import unpack_array
+
+    ordered = sorted(shard_results, key=lambda r: r.index)
+    covered = sum(r.count for r in ordered)
+    if covered != n_chains:
+        raise ValueError(
+            f"shard results cover {covered} chains, expected {n_chains}"
+        )
+    samples = np.concatenate([unpack_array(r.samples) for r in ordered], axis=0)
+    widths = np.concatenate(
+        [unpack_array(r.interval_widths) for r in ordered], axis=0
+    )
+    per_chain = np.concatenate(
+        [np.asarray(r.per_chain_simulations, dtype=int) for r in ordered]
+    )
+    return MultiChainGibbs(
+        samples=samples,
+        n_simulations=int(per_chain.sum()),
+        per_chain_simulations=per_chain,
+        interval_widths=widths,
+    )
+
+
+def merge_blockade_shards(
+    shard_results: Sequence, n_samples: int
+) -> Tuple[int, int]:
+    """Merge blockade screening shards into ``(failures, simulated)``.
+
+    Shard order is irrelevant to the sums, but the coverage check mirrors
+    :func:`merge_mc_shards`: a dropped shard must fail loudly, not shrink
+    the denominator silently.
+    """
+    covered = sum(r.count for r in shard_results)
+    if covered != n_samples:
+        raise ValueError(
+            f"shard results cover {covered} samples, expected {n_samples}"
+        )
+    failures = sum(int(r.n_failures) for r in shard_results)
+    simulated = sum(int(r.n_simulated) for r in shard_results)
+    return failures, simulated

@@ -12,11 +12,12 @@ simulation/call counts the parent folds back into its own
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.parallel.sharding import Shard
+from repro.parallel.transport import pack_array
 
 
 # --------------------------------------------------------------- brute MC
@@ -91,6 +92,143 @@ def run_mc_shard(task: MCShardTask) -> MCShardResult:
     )
 
 
+class TallyMetric:
+    """A thin row/call tally around the task's metric.
+
+    Unlike :class:`~repro.mc.counter.CountedMetric` it owns no shared
+    state: every worker builds its own instance, so the tallies in a shard
+    result are exactly that shard's cost on *every* backend.  When the
+    wrapped metric is itself the caller's ``CountedMetric`` (inline and
+    thread execution share it), its own lock-guarded counts still
+    accumulate directly — the tally only adds the shard-local breakdown
+    the process backend needs for :func:`fold_external_counts`.
+    """
+
+    def __init__(self, metric: Callable):
+        self.metric = metric
+        self.n_sims = 0
+        self.n_calls = 0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self.n_sims += x.shape[0]
+        self.n_calls += 1
+        return self.metric(x)
+
+
+# ------------------------------------------------------ first-stage Gibbs
+@dataclass
+class GibbsShardTask:
+    """One first-stage shard: a contiguous *group of chains* run in lockstep.
+
+    The shard grid partitions chains, not samples: ``shard.offset`` is the
+    global index of the group's first chain and ``shard.count`` the number
+    of chains in the group.  ``chain_seeds`` carries the spawn-indexed
+    child seed of *each* chain in the group — chain ``offset + i`` always
+    receives the child stream at spawn index ``offset + i``, whatever the
+    grouping — so per-chain trajectories are bit-identical for any group
+    size, worker count and backend (see
+    ``CartesianGibbs.run_lockstep(chain_rngs=...)``).
+    """
+
+    shard: Shard
+    chain_seeds: List[np.random.SeedSequence]
+    metric: Callable
+    spec: object
+    dimension: int
+    coordinate_system: str
+    #: ``(count, M)`` Cartesian starting points for the group's chains.
+    starts: np.ndarray
+    n_gibbs: int
+    zeta: float = 8.0
+    bisect_iters: int = 5
+    epsilon: float = 1e-2
+    sampler_options: dict = field(default_factory=dict)
+    #: Parent's decision to ship the sample tensor via shared memory.
+    shm_payloads: bool = False
+
+
+@dataclass
+class GibbsShardResult:
+    """Mergeable outcome of one chain-group shard.
+
+    ``samples`` / ``interval_widths`` may arrive as
+    :class:`~repro.parallel.transport.ShmArrayHandle` when the task asked
+    for shared-memory transport; ``merge_chain_shards`` resolves either
+    form transparently.
+    """
+
+    index: int
+    offset: int
+    count: int
+    #: ``(count, K, M)`` sample tensor or a shared-memory handle to it.
+    samples: object
+    per_chain_simulations: np.ndarray
+    #: ``(count, K)`` interval widths or a shared-memory handle.
+    interval_widths: object
+    n_sims: int = 0
+    n_calls: int = 0
+
+
+def run_gibbs_shard(task: GibbsShardTask) -> GibbsShardResult:
+    """Run ``run_lockstep`` on one contiguous chain group.
+
+    Starting points are *not* re-verified here: the parent verified (or
+    deliberately duplicated) them in ``_spread_starting_points`` before
+    planning the shards, and re-simulating them per group would charge the
+    flow ``n_chains`` extra simulations that the single-process path does
+    not pay.
+    """
+    # Local imports: repro.gibbs packages import the parallel layer through
+    # repro.mc.importance, so the samplers must resolve lazily here.
+    from repro.gibbs.cartesian import CartesianGibbs
+    from repro.gibbs.coordinates import initial_spherical_coordinates
+    from repro.gibbs.spherical import SphericalGibbs
+
+    tally = TallyMetric(task.metric)
+    chain_rngs = [np.random.default_rng(seed) for seed in task.chain_seeds]
+    starts = np.atleast_2d(np.asarray(task.starts, dtype=float))
+    if task.coordinate_system == "cartesian":
+        sampler = CartesianGibbs(
+            tally, task.spec, task.dimension, zeta=task.zeta,
+            bisect_iters=task.bisect_iters, **task.sampler_options,
+        )
+        multi = sampler.run_lockstep(
+            starts, task.n_gibbs, chain_rngs=chain_rngs, verify_start=False
+        )
+    elif task.coordinate_system == "spherical":
+        sampler = SphericalGibbs(
+            tally, task.spec, task.dimension, zeta=task.zeta,
+            bisect_iters=task.bisect_iters, **task.sampler_options,
+        )
+        spherical = [
+            initial_spherical_coordinates(point, task.epsilon)
+            for point in starts
+        ]
+        multi = sampler.run_lockstep(
+            np.array([r for r, _ in spherical]),
+            np.vstack([alpha for _, alpha in spherical]),
+            task.n_gibbs,
+            chain_rngs=chain_rngs,
+            verify_start=False,
+        )
+    else:
+        raise ValueError(
+            f"coordinate_system must be 'cartesian' or 'spherical', "
+            f"got {task.coordinate_system!r}"
+        )
+    return GibbsShardResult(
+        index=task.shard.index,
+        offset=task.shard.offset,
+        count=task.shard.count,
+        samples=pack_array(multi.samples, task.shm_payloads),
+        per_chain_simulations=multi.per_chain_simulations,
+        interval_widths=pack_array(multi.interval_widths, task.shm_payloads),
+        n_sims=tally.n_sims,
+        n_calls=tally.n_calls,
+    )
+
+
 # ----------------------------------------------------- importance sampling
 @dataclass
 class ISShardTask:
@@ -103,17 +241,24 @@ class ISShardTask:
     proposal: object
     nominal: object
     store_samples: bool = False
+    #: Parent's decision to ship stored samples via shared memory.
+    shm_payloads: bool = False
 
 
 @dataclass
 class ISShardResult:
-    """Mergeable outcome of one IS shard (weights in sample order)."""
+    """Mergeable outcome of one IS shard (weights in sample order).
+
+    ``samples`` is either the ``(count, M)`` array itself or a
+    :class:`~repro.parallel.transport.ShmArrayHandle` when the task asked
+    for shared-memory transport of the stored payload.
+    """
 
     index: int
     count: int
     weights: np.ndarray
     n_failures: int
-    samples: Optional[np.ndarray] = None
+    samples: object = None
     failed: Optional[np.ndarray] = None
     n_sims: int = 0
     n_calls: int = 0
@@ -147,10 +292,68 @@ def run_is_shard(task: ISShardTask) -> ISShardResult:
         count=shard.count,
         weights=weights,
         n_failures=int(fail.sum()),
-        samples=x if task.store_samples else None,
+        samples=pack_array(x, task.shm_payloads) if task.store_samples else None,
         failed=fail if task.store_samples else None,
         n_sims=shard.count,
         n_calls=1,
+    )
+
+
+# ------------------------------------------------- statistical blockade
+@dataclass
+class BlockadeShardTask:
+    """One blockade screening shard: generate, classify, simulate the tail.
+
+    The shard covers ``count`` *generated* Monte-Carlo candidates; the
+    trained classifier and its threshold travel with the task, so workers
+    only screen and simulate — training stays in the parent.
+    """
+
+    shard: Shard
+    seed: np.random.SeedSequence
+    metric: Callable
+    spec: object
+    classifier: object
+    threshold: float
+    dimension: int
+    chunk_size: int
+
+
+@dataclass
+class BlockadeShardResult:
+    """Mergeable outcome of one blockade screening shard."""
+
+    index: int
+    count: int
+    n_failures: int
+    n_simulated: int
+    n_sims: int = 0
+    n_calls: int = 0
+
+
+def run_blockade_shard(task: BlockadeShardTask) -> BlockadeShardResult:
+    """Screen one shard of blockade candidates with its own child stream."""
+    rng = np.random.default_rng(task.seed)
+    tally = TallyMetric(task.metric)
+    failures = 0
+    simulated = 0
+    generated = 0
+    while generated < task.shard.count:
+        take = min(task.chunk_size, task.shard.count - generated)
+        x = rng.standard_normal((take, task.dimension))
+        candidate = task.classifier.predict(x) < task.threshold
+        if np.any(candidate):
+            values = tally(x[candidate])
+            failures += int(np.sum(task.spec.indicator(values)))
+            simulated += int(candidate.sum())
+        generated += take
+    return BlockadeShardResult(
+        index=task.shard.index,
+        count=task.shard.count,
+        n_failures=failures,
+        n_simulated=simulated,
+        n_sims=tally.n_sims,
+        n_calls=tally.n_calls,
     )
 
 
