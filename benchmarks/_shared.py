@@ -9,15 +9,19 @@ here.  Every bench writes its reproduction report both to stdout and to
 
 Budgets scale with the ``REPRO_BENCH_SCALE`` environment variable
 (default 1.0); e.g. ``REPRO_BENCH_SCALE=0.2 pytest benchmarks/`` runs a
-fast smoke pass.
+fast smoke pass.  Setting ``REPRO_BENCH_TRACE=<dir>`` records telemetry
+for each cached panel and writes a Chrome trace plus a JSONL event stream
+per panel into that directory (tracing never changes the panel numbers).
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 from functools import lru_cache
 from pathlib import Path
 
+from repro import telemetry
 from repro.analysis.experiments import compare_methods
 from repro.mc.montecarlo import brute_force_monte_carlo
 from repro.sram.problems import (
@@ -30,6 +34,31 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Global budget multiplier.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Optional directory for per-panel telemetry traces.
+TRACE_DIR = os.environ.get("REPRO_BENCH_TRACE", "")
+
+
+@contextlib.contextmanager
+def panel_tracing(name: str):
+    """Record a cached panel's telemetry when ``REPRO_BENCH_TRACE`` is set.
+
+    Writes ``<dir>/<name>.trace.json`` (Chrome) and ``<dir>/<name>.jsonl``
+    on exit; a no-op (one ``if`` per panel) when the variable is empty.
+    """
+    if not TRACE_DIR:
+        yield None
+        return
+    out = Path(TRACE_DIR)
+    out.mkdir(parents=True, exist_ok=True)
+    recorder = telemetry.Recorder(run_id=f"bench-{name}")
+    with telemetry.activate(recorder):
+        yield recorder
+    recorder.meta["manifest"] = telemetry.build_manifest(
+        command="benchmarks", problem=name, extra={"scale": SCALE}
+    )
+    telemetry.write_chrome_trace(recorder, out / f"{name}.trace.json")
+    telemetry.write_jsonl(recorder, out / f"{name}.jsonl")
 
 
 def scaled(n: int, minimum: int = 2) -> int:
@@ -58,30 +87,32 @@ def problem(name: str):
 @lru_cache(maxsize=None)
 def noise_margin_panel(metric_name: str):
     """Four-method panel on a 6-D noise-margin problem (Figs. 6-11, Table I)."""
-    return compare_methods(
-        problem(metric_name),
-        seed=2011,
-        n_second_stage=scaled(100_000, 2000),
-        n_gibbs=scaled(400, 50),
-        n_exploration=scaled(5000, 500),
-        doe_budget=scaled(1000, 200),
-        store_samples=True,
-    )
+    with panel_tracing(f"panel-{metric_name}"):
+        return compare_methods(
+            problem(metric_name),
+            seed=2011,
+            n_second_stage=scaled(100_000, 2000),
+            n_gibbs=scaled(400, 50),
+            n_exploration=scaled(5000, 500),
+            doe_budget=scaled(1000, 200),
+            store_samples=True,
+        )
 
 
 @lru_cache(maxsize=None)
 def read_current_panel():
     """Four-method panel on the 2-D read-current problem (Fig. 12, Table II,
     Fig. 13)."""
-    return compare_methods(
-        problem("iread"),
-        seed=2012,
-        n_second_stage=scaled(10_000, 1000),
-        n_gibbs=scaled(400, 50),
-        n_exploration=scaled(5000, 500),
-        doe_budget=scaled(1000, 200),
-        store_samples=True,
-    )
+    with panel_tracing("panel-iread"):
+        return compare_methods(
+            problem("iread"),
+            seed=2012,
+            n_second_stage=scaled(10_000, 1000),
+            n_gibbs=scaled(400, 50),
+            n_exploration=scaled(5000, 500),
+            doe_budget=scaled(1000, 200),
+            store_samples=True,
+        )
 
 
 @lru_cache(maxsize=None)

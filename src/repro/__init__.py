@@ -66,6 +66,7 @@ from repro.sram import (
 )
 from repro.parallel import ParallelExecutor
 from repro.stats import MultivariateNormal, PCAWhitener
+from repro.telemetry import Recorder
 from repro.synthetic import (
     AnnularArcMetric,
     LinearMetric,
@@ -112,6 +113,8 @@ __all__ = [
     "AnnularArcMetric",
     # parallel execution layer
     "ParallelExecutor",
+    # telemetry
+    "Recorder",
     # analysis harness
     "METHODS",
     "run_method",

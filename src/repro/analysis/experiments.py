@@ -29,6 +29,7 @@ from repro.mc.counter import CountedMetric
 from repro.mc.montecarlo import brute_force_monte_carlo
 from repro.mc.results import EstimationResult
 from repro.parallel.executor import ParallelExecutor, resolve_executor
+from repro.telemetry import context as _telemetry
 from repro.utils.rng import SeedLike, spawn_rngs, spawn_seed_sequences
 
 #: Canonical method labels, in the paper's presentation order.
@@ -122,14 +123,37 @@ class _MethodTask:
     problem: object
     seed: np.random.SeedSequence
     run_kwargs: dict = field(default_factory=dict)
+    #: Parent's :func:`repro.telemetry.ship_to_workers` decision.
+    telemetry: bool = False
 
 
 def _run_method_task(task: _MethodTask) -> EstimationResult:
-    """Spawn-safe worker: run one method on its own child stream."""
-    return run_method(
-        task.name, task.problem, rng=np.random.default_rng(task.seed),
-        **task.run_kwargs,
-    )
+    """Spawn-safe worker: run one method on its own child stream.
+
+    Worker-side telemetry rides home in ``extras["worker_telemetry"]``
+    (an :class:`EstimationResult` has no shard-record slot of its own);
+    the panel runner pops and folds it after the map.
+    """
+    shard_tel = _telemetry.ShardTelemetry(task.telemetry, f"panel-{task.name}")
+    with shard_tel, _telemetry.span("panel.method", method=task.name) as sp:
+        result = run_method(
+            task.name, task.problem, rng=np.random.default_rng(task.seed),
+            **task.run_kwargs,
+        )
+        sp.add("sims", result.n_first_stage + result.n_second_stage)
+    record = shard_tel.record()
+    if record is not None:
+        result.extras["worker_telemetry"] = record
+    return result
+
+
+def _fold_panel_telemetry(executor, outcomes) -> None:
+    """Fold worker telemetry records shipped inside panel results."""
+    recorder = _telemetry.get_active()
+    for result in outcomes:
+        record = result.extras.pop("worker_telemetry", None)
+        if record and recorder is not None:
+            recorder.fold(record)
 
 
 def compare_methods(
@@ -152,11 +176,13 @@ def compare_methods(
     pool = resolve_executor(executor, n_workers, backend)
     if pool is not None:
         seeds = spawn_seed_sequences(seed, len(methods))
+        ship_telemetry = _telemetry.ship_to_workers(pool)
         tasks = [
-            _MethodTask(name, problem, child, dict(run_kwargs))
+            _MethodTask(name, problem, child, dict(run_kwargs), ship_telemetry)
             for name, child in zip(methods, seeds)
         ]
         outcomes = pool.map(_run_method_task, tasks)
+        _fold_panel_telemetry(pool, outcomes)
         return dict(zip(methods, outcomes))
     rngs = spawn_rngs(seed, len(methods))
     results = {}
@@ -187,11 +213,14 @@ def run_trials(
     pool = resolve_executor(executor, n_workers, backend)
     seeds = spawn_seed_sequences(seed, n_trials)
     if pool is not None:
+        ship_telemetry = _telemetry.ship_to_workers(pool)
         tasks = [
-            _MethodTask(method, problem, child, dict(run_kwargs))
+            _MethodTask(method, problem, child, dict(run_kwargs), ship_telemetry)
             for child in seeds
         ]
-        return pool.map(_run_method_task, tasks)
+        outcomes = pool.map(_run_method_task, tasks)
+        _fold_panel_telemetry(pool, outcomes)
+        return outcomes
     return [
         run_method(
             method, problem, rng=np.random.default_rng(child), **run_kwargs

@@ -33,6 +33,7 @@ from repro.parallel.workers import (
     run_blockade_shard,
 )
 from repro.stats.confidence import montecarlo_relative_error
+from repro.telemetry import context as _telemetry
 from repro.utils.rng import SeedLike, ensure_rng, spawn_seed_sequences
 
 
@@ -87,45 +88,54 @@ def statistical_blockade(
     )
     dimension = counted.dimension
 
-    x_train = rng.standard_normal((n_train, dimension))
-    margins = spec.margin(counted(x_train))
-    classifier = LinearSurrogate.fit(x_train, margins)
-    threshold = float(np.percentile(margins, blockade_percentile))
-    train_failures = int(np.sum(margins < 0))
+    with _telemetry.span("blockade.train", n_train=int(n_train)) as train_span:
+        x_train = rng.standard_normal((n_train, dimension))
+        margins = spec.margin(counted(x_train))
+        classifier = LinearSurrogate.fit(x_train, margins)
+        threshold = float(np.percentile(margins, blockade_percentile))
+        train_failures = int(np.sum(margins < 0))
+        train_span.add("sims", int(n_train))
 
     pool = resolve_executor(None, n_workers, backend)
-    if pool is not None:
-        shards = plan_shards(n_samples, int(shard_size))
-        seeds = spawn_seed_sequences(rng, len(shards))
-        tasks = [
-            BlockadeShardTask(
-                shard=shard,
-                seed=child,
-                metric=counted,
-                spec=spec,
-                classifier=classifier,
-                threshold=threshold,
-                dimension=dimension,
-                chunk_size=int(chunk_size),
-            )
-            for shard, child in zip(shards, seeds)
-        ]
-        results = pool.map(run_blockade_shard, tasks)
-        fold_external_counts(counted, pool, results)
-        failures, simulated = merge_blockade_shards(results, n_samples)
-    else:
-        failures = 0
-        simulated = 0
-        generated = 0
-        while generated < n_samples:
-            take = min(chunk_size, n_samples - generated)
-            x = rng.standard_normal((take, dimension))
-            candidate = classifier.predict(x) < threshold
-            if np.any(candidate):
-                values = counted(x[candidate])
-                failures += int(np.sum(spec.indicator(values)))
-                simulated += int(candidate.sum())
-            generated += take
+    with _telemetry.span(
+        "blockade.screen", generated=int(n_samples), sharded=pool is not None
+    ) as screen_span:
+        if pool is not None:
+            shards = plan_shards(n_samples, int(shard_size))
+            seeds = spawn_seed_sequences(rng, len(shards))
+            ship_telemetry = _telemetry.ship_to_workers(pool)
+            tasks = [
+                BlockadeShardTask(
+                    shard=shard,
+                    seed=child,
+                    metric=counted,
+                    spec=spec,
+                    classifier=classifier,
+                    threshold=threshold,
+                    dimension=dimension,
+                    chunk_size=int(chunk_size),
+                    telemetry=ship_telemetry,
+                )
+                for shard, child in zip(shards, seeds)
+            ]
+            results = pool.map(run_blockade_shard, tasks)
+            fold_external_counts(counted, pool, results)
+            failures, simulated = merge_blockade_shards(results, n_samples)
+        else:
+            failures = 0
+            simulated = 0
+            generated = 0
+            while generated < n_samples:
+                take = min(chunk_size, n_samples - generated)
+                x = rng.standard_normal((take, dimension))
+                candidate = classifier.predict(x) < threshold
+                if np.any(candidate):
+                    values = counted(x[candidate])
+                    failures += int(np.sum(spec.indicator(values)))
+                    simulated += int(candidate.sum())
+                generated += take
+        screen_span.add("sims", int(simulated))
+        screen_span.add("failures", int(failures))
 
     failures += train_failures  # training samples are honest MC draws too
     total = n_samples + n_train

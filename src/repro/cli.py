@@ -14,14 +14,25 @@ Three commands cover the common workflows without writing any Python:
 * ``region`` — print the ASCII failure-region map of a 2-D problem::
 
       python -m repro region --problem iread --extent 8
+
+Output contract: **stdout carries only results** (summaries, the chain
+line, agreement tables, region maps); every diagnostic — progress lines,
+verbose extras, notes, errors — flows through the structured ``repro``
+logger to stderr (``--log-json`` for one JSON object per line).  With
+``--trace`` / ``--trace-events`` the run records telemetry spans and
+counters and writes a Chrome ``trace_event`` file and/or a JSONL event
+stream, each carrying the run manifest (problem, seed, worker grid,
+versions, adaptive-probe record).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
+from repro import telemetry
 from repro.analysis.diagnostics import check_agreement
 from repro.analysis.experiments import METHODS, compare_methods, run_method
 from repro.analysis.region import ascii_region, map_failure_region
@@ -32,6 +43,7 @@ from repro.sram.problems import (
     write_noise_margin_problem,
     write_time_problem,
 )
+from repro.telemetry import logs
 
 PROBLEMS = {
     "rnm": read_noise_margin_problem,
@@ -77,8 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "the probe numbers and chosen grid are "
                             "recorded in the result extras")
         p.add_argument("--verbose", action="store_true",
-                       help="print chain diagnostics and the adaptive "
-                            "sizing record")
+                       help="print chain diagnostics, the adaptive sizing "
+                            "record and the telemetry summary (stderr)")
+        p.add_argument("--trace", metavar="PATH", default=None,
+                       help="record run telemetry and write a Chrome "
+                            "trace_event file (open in chrome://tracing "
+                            "or Perfetto); tracing never changes results")
+        p.add_argument("--trace-events", metavar="PATH", default=None,
+                       help="record run telemetry and write the JSONL "
+                            "event stream (schema "
+                            f"{telemetry.JSONL_SCHEMA})")
+        p.add_argument("--log-json", action="store_true",
+                       help="emit stderr diagnostics as one JSON object "
+                            "per line")
 
     est = sub.add_parser("estimate", help="run one estimation method")
     add_common(est)
@@ -106,18 +129,15 @@ def _adaptive_kwargs(args, method: str) -> Optional[dict]:
     if not args.adaptive_shards:
         return {}
     if args.workers is None:
-        print(
-            "error: --adaptive-shards tunes the parallel fan-out; "
-            "it requires --workers",
-            file=sys.stderr,
+        logs.error(
+            "--adaptive-shards tunes the parallel fan-out; "
+            "it requires --workers"
         )
         return None
     if method in ("G-C", "G-S"):
         return {"chain_group_size": "adaptive", "shard_size": "adaptive"}
-    print(
-        f"note: --adaptive-shards is ignored for {method} "
-        "(Gibbs methods only)",
-        file=sys.stderr,
+    logs.warning(
+        f"--adaptive-shards is ignored for {method} (Gibbs methods only)"
     )
     return {}
 
@@ -126,11 +146,11 @@ def _print_verbose_extras(result) -> None:
     """``--verbose`` detail: mixing diagnostics and the adaptive record."""
     diagnostics = result.extras.get("chain_diagnostics")
     if diagnostics is not None:
-        print(f"chain mixing: {diagnostics.summary()}")
+        logs.info(f"chain mixing: {diagnostics.summary()}")
     adaptive = result.extras.get("adaptive_sharding")
     if adaptive is not None:
         probe = adaptive["probe"]
-        print(
+        logs.info(
             "adaptive sizing probe: "
             f"{1e6 * probe['per_call_s']:.1f} us/call + "
             f"{1e6 * probe['per_row_s']:.3f} us/row "
@@ -143,22 +163,75 @@ def _print_verbose_extras(result) -> None:
         }
         if chosen:
             grid = ", ".join(f"{key}={value}" for key, value in chosen.items())
-            print(f"adaptive sizing chose: {grid}")
+            logs.info(f"adaptive sizing chose: {grid}")
+
+
+def _tracing_requested(args) -> bool:
+    return bool(
+        getattr(args, "trace", None) or getattr(args, "trace_events", None)
+    )
+
+
+def _run_recorder(args) -> Optional["telemetry.Recorder"]:
+    """A fresh run recorder when this invocation records telemetry.
+
+    Tracing flags always record; ``--verbose`` alone records too, so the
+    stderr summary has something to say.  ``None`` (the default) keeps
+    every instrumented site on its one-``is None``-check fast path.
+    """
+    if _tracing_requested(args) or getattr(args, "verbose", False):
+        return telemetry.Recorder(run_id=f"repro-{args.command}")
+    return None
+
+
+def _finish_telemetry(recorder, args, method) -> None:
+    """Stamp the manifest, write the requested trace files, summarise."""
+    if recorder is None:
+        return
+    adaptive = None
+    recorder.meta["manifest"] = telemetry.build_manifest(
+        command=args.command,
+        problem=args.problem,
+        method=method,
+        seed=args.seed,
+        n_workers=args.workers,
+        backend="process" if args.workers is not None else None,
+        argv=list(sys.argv[1:]),
+        adaptive=recorder.meta.get("adaptive_sharding"),
+    )
+    if args.trace_events:
+        telemetry.write_jsonl(recorder, args.trace_events)
+        logs.info("telemetry events written", path=args.trace_events)
+    if args.trace:
+        telemetry.write_chrome_trace(recorder, args.trace)
+        logs.info("chrome trace written", path=args.trace)
+    if args.verbose:
+        logs.info(recorder.summary())
 
 
 def _cmd_estimate(args) -> int:
     problem = PROBLEMS[args.problem]()
-    print(f"problem: {problem.description}")
+    logs.info(f"problem: {problem.description}")
     adaptive = _adaptive_kwargs(args, args.method)
     if adaptive is None:
         return 2
-    result = run_method(
-        args.method, problem, rng=args.seed,
-        n_second_stage=args.n_second, n_gibbs=args.n_gibbs,
-        n_chains=args.n_chains,
-        doe_budget=args.doe_budget, n_workers=args.workers,
-        **adaptive,
-    )
+    recorder = _run_recorder(args)
+    with (
+        telemetry.activate(recorder)
+        if recorder is not None
+        else contextlib.nullcontext()
+    ):
+        result = run_method(
+            args.method, problem, rng=args.seed,
+            n_second_stage=args.n_second, n_gibbs=args.n_gibbs,
+            n_chains=args.n_chains,
+            doe_budget=args.doe_budget, n_workers=args.workers,
+            **adaptive,
+        )
+        if recorder is not None:
+            record = result.extras.get("adaptive_sharding")
+            if record is not None:
+                recorder.meta["adaptive_sharding"] = record
     print(result.summary())
     chain = result.extras.get("chain")
     if chain is not None:
@@ -168,27 +241,33 @@ def _cmd_estimate(args) -> int:
         )
     if args.verbose:
         _print_verbose_extras(result)
+    _finish_telemetry(recorder, args, args.method)
     return 0
 
 
 def _cmd_compare(args) -> int:
     problem = PROBLEMS[args.problem]()
-    print(f"problem: {problem.description}")
+    logs.info(f"problem: {problem.description}")
     if args.adaptive_shards:
         # Panel kwargs go to every method and the baselines take no sizing
         # knobs; adaptive sizing is an `estimate` feature.
-        print(
-            "note: --adaptive-shards is ignored by compare "
-            "(use `estimate` with a Gibbs method)",
-            file=sys.stderr,
+        logs.warning(
+            "--adaptive-shards is ignored by compare "
+            "(use `estimate` with a Gibbs method)"
         )
-    results = compare_methods(
-        problem, methods=tuple(args.methods), seed=args.seed,
-        n_workers=args.workers,
-        n_second_stage=args.n_second, n_gibbs=args.n_gibbs,
-        n_chains=args.n_chains,
-        doe_budget=args.doe_budget,
-    )
+    recorder = _run_recorder(args)
+    with (
+        telemetry.activate(recorder)
+        if recorder is not None
+        else contextlib.nullcontext()
+    ):
+        results = compare_methods(
+            problem, methods=tuple(args.methods), seed=args.seed,
+            n_workers=args.workers,
+            n_second_stage=args.n_second, n_gibbs=args.n_gibbs,
+            n_chains=args.n_chains,
+            doe_budget=args.doe_budget,
+        )
     for result in results.values():
         print(" ", result.summary())
         if args.verbose:
@@ -196,16 +275,16 @@ def _cmd_compare(args) -> int:
     if len(results) >= 2:
         print("agreement check:")
         print(check_agreement(results).summary())
+    _finish_telemetry(recorder, args, list(args.methods))
     return 0
 
 
 def _cmd_region(args) -> int:
     problem = PROBLEMS[args.problem]()
     if problem.dimension != 2:
-        print(
-            f"error: problem {args.problem!r} has dimension "
-            f"{problem.dimension}; the region map is 2-D only (use iread)",
-            file=sys.stderr,
+        logs.error(
+            f"problem {args.problem!r} has dimension "
+            f"{problem.dimension}; the region map is 2-D only (use iread)"
         )
         return 2
     axis_x, axis_y, fail = map_failure_region(
@@ -219,6 +298,7 @@ def _cmd_region(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    logs.configure_cli_logging(json_mode=getattr(args, "log_json", False))
     handlers = {
         "estimate": _cmd_estimate,
         "compare": _cmd_compare,

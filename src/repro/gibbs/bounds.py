@@ -26,6 +26,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.telemetry import context as _telemetry
+
 
 @dataclass(frozen=True)
 class FailureInterval:
@@ -129,6 +131,10 @@ def failure_interval(
 
     lower = lo if not left_active else left_fail
     upper = hi if not right_active else right_fail
+    recorder = _telemetry.get_active()
+    if recorder is not None:
+        recorder.count("bisect.searches", 1)
+        recorder.count("bisect.sims", n_sims)
     return FailureInterval(lower=lower, upper=upper, n_simulations=n_sims)
 
 
@@ -216,6 +222,10 @@ def batched_failure_interval(
 
     lower = np.where(left_active, left_fail, lo)
     upper = np.where(right_active, right_fail, hi)
+    recorder = _telemetry.get_active()
+    if recorder is not None:
+        recorder.count("bisect.searches", n_chains)
+        recorder.count("bisect.sims", int(per_chain.sum()))
     return BatchedFailureIntervals(
         lower=lower,
         upper=upper,

@@ -65,6 +65,7 @@ from repro.parallel.workers import (
 from repro.stats.mixture import GaussianMixture
 from repro.stats.mvnormal import MultivariateNormal
 from repro.stats.qmc import QMCNormal
+from repro.telemetry import context as _telemetry
 from repro.utils.rng import SeedLike, ensure_rng, spawn_seed_sequences
 
 #: Method labels used throughout the experiment harness and the paper.
@@ -192,6 +193,7 @@ def run_first_stage(
                 bisect_iters=bisect_iters,
                 epsilon=epsilon,
                 shm_payloads=should_use_shm(executor, payload_bytes),
+                telemetry=_telemetry.ship_to_workers(executor),
             )
         )
     results = executor.map(run_gibbs_shard, tasks)
@@ -333,94 +335,108 @@ def gibbs_importance_sampling(
     # and the sharded second stage; inline/serial executors make this a
     # no-op (see ParallelExecutor.__enter__).
     with pool if pool is not None else contextlib.nullcontext():
-        if start is None:
-            start = find_starting_point(
-                counted, spec, dimension, rng,
-                doe_budget=doe_budget, order=surrogate_order,
-                epsilon=epsilon, zeta=zeta,
-            )
-
-        if n_chains == 1:
-            if coordinate_system == "cartesian":
-                sampler = CartesianGibbs(
-                    counted, spec, dimension, zeta=zeta,
-                    bisect_iters=bisect_iters,
-                )
-                chain = sampler.run(start.x, n_gibbs, rng)
-            else:
-                sampler = SphericalGibbs(
-                    counted, spec, dimension, zeta=zeta,
-                    bisect_iters=bisect_iters,
-                )
-                chain = sampler.run(start.r, start.alpha, n_gibbs, rng)
-        else:
-            starts_x = _spread_starting_points(
-                counted, spec, start, n_chains, rng, zeta, chain_jitter
-            )
-            if pool is not None:
-                chain = run_first_stage(
-                    counted, spec, starts_x, n_gibbs, pool,
-                    coordinate_system=coordinate_system,
-                    seed=rng,
-                    chain_group_size=chain_group_size,
-                    zeta=zeta, bisect_iters=bisect_iters, epsilon=epsilon,
-                )
-            elif coordinate_system == "cartesian":
-                sampler = CartesianGibbs(
-                    counted, spec, dimension, zeta=zeta,
-                    bisect_iters=bisect_iters,
-                )
-                chain = sampler.run_lockstep(
-                    starts_x, n_gibbs, rng, verify_start=False
-                )
-            else:
-                sampler = SphericalGibbs(
-                    counted, spec, dimension, zeta=zeta,
-                    bisect_iters=bisect_iters,
-                )
-                spherical = [
-                    initial_spherical_coordinates(point, epsilon)
-                    for point in starts_x
-                ]
-                chain = sampler.run_lockstep(
-                    np.array([r for r, _ in spherical]),
-                    np.vstack([alpha for _, alpha in spherical]),
-                    n_gibbs,
-                    rng,
-                    verify_start=False,
+        # The span covers everything the paper charges to stage 1: the
+        # starting-point search, the chains, the proposal fit and the
+        # mixing diagnostics.  Its ``sims`` counter is the same
+        # checkpoint delta the result reports as ``n_first_stage``.
+        with _telemetry.span(
+            "gibbs.first_stage",
+            coordinate_system=coordinate_system,
+            n_chains=int(n_chains),
+            n_gibbs=int(n_gibbs),
+        ) as stage_span:
+            if start is None:
+                start = find_starting_point(
+                    counted, spec, dimension, rng,
+                    doe_budget=doe_budget, order=surrogate_order,
+                    epsilon=epsilon, zeta=zeta,
                 )
 
-        fit_samples = chain.samples if n_chains == 1 else chain.pooled_samples
-        if proposal_fit == "normal":
-            proposal = MultivariateNormal.fit(fit_samples)
-            if qmc_second_stage:
-                proposal = QMCNormal(
-                    proposal, seed=int(rng.integers(0, 2**31 - 1))
+            if n_chains == 1:
+                if coordinate_system == "cartesian":
+                    sampler = CartesianGibbs(
+                        counted, spec, dimension, zeta=zeta,
+                        bisect_iters=bisect_iters,
+                    )
+                    chain = sampler.run(start.x, n_gibbs, rng)
+                else:
+                    sampler = SphericalGibbs(
+                        counted, spec, dimension, zeta=zeta,
+                        bisect_iters=bisect_iters,
+                    )
+                    chain = sampler.run(start.r, start.alpha, n_gibbs, rng)
+            else:
+                starts_x = _spread_starting_points(
+                    counted, spec, start, n_chains, rng, zeta, chain_jitter
                 )
-        elif proposal_fit == "mixture":
-            if qmc_second_stage:
+                if pool is not None:
+                    chain = run_first_stage(
+                        counted, spec, starts_x, n_gibbs, pool,
+                        coordinate_system=coordinate_system,
+                        seed=rng,
+                        chain_group_size=chain_group_size,
+                        zeta=zeta, bisect_iters=bisect_iters, epsilon=epsilon,
+                    )
+                elif coordinate_system == "cartesian":
+                    sampler = CartesianGibbs(
+                        counted, spec, dimension, zeta=zeta,
+                        bisect_iters=bisect_iters,
+                    )
+                    chain = sampler.run_lockstep(
+                        starts_x, n_gibbs, rng, verify_start=False
+                    )
+                else:
+                    sampler = SphericalGibbs(
+                        counted, spec, dimension, zeta=zeta,
+                        bisect_iters=bisect_iters,
+                    )
+                    spherical = [
+                        initial_spherical_coordinates(point, epsilon)
+                        for point in starts_x
+                    ]
+                    chain = sampler.run_lockstep(
+                        np.array([r for r, _ in spherical]),
+                        np.vstack([alpha for _, alpha in spherical]),
+                        n_gibbs,
+                        rng,
+                        verify_start=False,
+                    )
+
+            fit_samples = (
+                chain.samples if n_chains == 1 else chain.pooled_samples
+            )
+            if proposal_fit == "normal":
+                proposal = MultivariateNormal.fit(fit_samples)
+                if qmc_second_stage:
+                    proposal = QMCNormal(
+                        proposal, seed=int(rng.integers(0, 2**31 - 1))
+                    )
+            elif proposal_fit == "mixture":
+                if qmc_second_stage:
+                    raise ValueError(
+                        "qmc_second_stage is only supported with "
+                        "proposal_fit='normal'"
+                    )
+                proposal = GaussianMixture.fit(
+                    fit_samples, n_components=mixture_components, rng=rng
+                )
+            else:
                 raise ValueError(
-                    "qmc_second_stage is only supported with "
-                    "proposal_fit='normal'"
+                    f"proposal_fit must be 'normal' or 'mixture', "
+                    f"got {proposal_fit!r}"
                 )
-            proposal = GaussianMixture.fit(
-                fit_samples, n_components=mixture_components, rng=rng
-            )
-        else:
-            raise ValueError(
-                f"proposal_fit must be 'normal' or 'mixture', "
-                f"got {proposal_fit!r}"
-            )
 
-        extras = {"chain": chain, "starting_point": start}
-        if adaptive_record is not None:
-            extras["adaptive_sharding"] = adaptive_record
-        # Split R-hat needs at least 4 samples per chain; for shorter (toy)
-        # runs the estimate is still valid, only the diagnostics are skipped.
-        if n_chains > 1 and n_gibbs >= 4:
-            extras["chain_diagnostics"] = diagnose_chains(chain)
+            extras = {"chain": chain, "starting_point": start}
+            if adaptive_record is not None:
+                extras["adaptive_sharding"] = adaptive_record
+            # Split R-hat needs at least 4 samples per chain; for shorter
+            # (toy) runs the estimate is still valid, only the diagnostics
+            # are skipped.
+            if n_chains > 1 and n_gibbs >= 4:
+                extras["chain_diagnostics"] = diagnose_chains(chain)
 
-        n_first_stage = counted.checkpoint() - stage1_start
+            n_first_stage = counted.checkpoint() - stage1_start
+            stage_span.add("sims", n_first_stage)
         return importance_sampling_estimate(
             counted,
             spec,

@@ -11,10 +11,11 @@ instrument.
 from __future__ import annotations
 
 import threading
-from typing import Callable
+from typing import Callable, Tuple
 
 import numpy as np
 
+from repro.telemetry import context as _telemetry
 from repro.utils.validation import as_sample_matrix
 
 
@@ -72,9 +73,18 @@ class CountedMetric:
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         x = as_sample_matrix(x, self.dimension)
+        n = x.shape[0]
         with self._lock:
-            self.count += x.shape[0]
+            self.count += n
             self.calls += 1
+        # Every simulation in the flow passes through here (worker copies
+        # included, each recording into its own shipped-home recorder), so
+        # these two counters are the telemetry mirror of ``count``/``calls``
+        # — after the merge-time fold their totals equal this instrument's.
+        recorder = _telemetry.get_active()
+        if recorder is not None:
+            recorder.count("metric.sims", n)
+            recorder.count("metric.calls", 1)
         return np.asarray(self.metric(x), dtype=float)
 
     def evaluate(self, x: np.ndarray) -> np.ndarray:
@@ -99,8 +109,25 @@ class CountedMetric:
             self.external_count += int(n)
 
     def checkpoint(self) -> int:
-        """Current count, for before/after accounting of one flow stage."""
-        return self.count
+        """Current count, for before/after accounting of one flow stage.
+
+        Lock-guarded: on the thread backend a concurrent ``__call__`` is
+        mid-increment often enough that an unguarded read could observe a
+        torn stage boundary.
+        """
+        with self._lock:
+            return self.count
+
+    def snapshot(self) -> Tuple[int, int, int]:
+        """Atomic ``(count, calls, external_count)`` for telemetry sampling.
+
+        Reading the three attributes separately can interleave with a
+        concurrent increment and report a mixed state (e.g. the new count
+        with the old call tally); one lock acquisition returns a
+        consistent triple.
+        """
+        with self._lock:
+            return (self.count, self.calls, self.external_count)
 
     def reset(self) -> None:
         with self._lock:

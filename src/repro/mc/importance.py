@@ -28,6 +28,7 @@ from repro.parallel.transport import should_use_shm, unpack_array
 from repro.parallel.workers import ISShardTask, fold_external_counts, run_is_shard
 from repro.stats.confidence import relative_error
 from repro.stats.mvnormal import MultivariateNormal
+from repro.telemetry import context as _telemetry
 from repro.utils.rng import SeedLike, ensure_rng, spawn_seed_sequences
 
 
@@ -81,6 +82,7 @@ def _sharded_second_stage(
     shm_payloads = store_samples and should_use_shm(
         executor, shard_size * dimension * 8
     )
+    ship_telemetry = _telemetry.ship_to_workers(executor)
     tasks = [
         ISShardTask(
             shard=shard,
@@ -91,6 +93,7 @@ def _sharded_second_stage(
             nominal=nominal,
             store_samples=store_samples,
             shm_payloads=shm_payloads,
+            telemetry=ship_telemetry,
         )
         for shard, child in zip(shards, seeds)
     ]
@@ -189,29 +192,37 @@ def importance_sampling_estimate(
             "probe": probe.as_extras(),
             "shard_size": int(shard_size),
         }
-    if pool is not None:
-        if (
-            getattr(proposal, "stateful_sample", False)
-            and not hasattr(proposal, "sample_shard")
-        ):
-            raise ValueError(
-                "sharded second stage requires a shard-aware proposal: "
-                f"{type(proposal).__name__}.sample() ignores the per-shard "
-                "rng (stateful_sample=True) but exposes no "
-                "sample_shard(offset, n); shards would draw overlapping or "
-                "schedule-dependent points. Run with n_workers=None or add "
-                "sample_shard to the proposal."
+    with _telemetry.span(
+        "second_stage",
+        method=method,
+        samples=int(n_samples),
+        sharded=pool is not None,
+    ) as stage_span:
+        if pool is not None:
+            if (
+                getattr(proposal, "stateful_sample", False)
+                and not hasattr(proposal, "sample_shard")
+            ):
+                raise ValueError(
+                    "sharded second stage requires a shard-aware proposal: "
+                    f"{type(proposal).__name__}.sample() ignores the per-shard "
+                    "rng (stateful_sample=True) but exposes no "
+                    "sample_shard(offset, n); shards would draw overlapping or "
+                    "schedule-dependent points. Run with n_workers=None or add "
+                    "sample_shard to the proposal."
+                )
+            weights, x, fail, n_failures = _sharded_second_stage(
+                metric, spec, proposal, nominal, n_samples, rng, pool,
+                int(shard_size), store_samples, int(dimension),
             )
-        weights, x, fail, n_failures = _sharded_second_stage(
-            metric, spec, proposal, nominal, n_samples, rng, pool,
-            int(shard_size), store_samples, int(dimension),
-        )
-    else:
-        rng = ensure_rng(rng)
-        x = proposal.sample(n_samples, rng)
-        fail = spec.indicator(metric(x))
-        weights = importance_weights(x, fail, proposal, nominal)
-        n_failures = int(fail.sum())
+        else:
+            rng = ensure_rng(rng)
+            x = proposal.sample(n_samples, rng)
+            fail = spec.indicator(metric(x))
+            weights = importance_weights(x, fail, proposal, nominal)
+            n_failures = int(fail.sum())
+        stage_span.add("sims", int(n_samples))
+        stage_span.add("failures", int(n_failures))
 
     result_extras = dict(extras or {})
     if adaptive_record is not None:

@@ -27,6 +27,7 @@ from repro.parallel.executor import ParallelExecutor, resolve_executor
 from repro.parallel.sharding import checkpoint_grid, merge_mc_shards, plan_shards
 from repro.parallel.workers import MCShardTask, fold_external_counts, run_mc_shard
 from repro.stats.confidence import montecarlo_relative_error
+from repro.telemetry import context as _telemetry
 from repro.utils.rng import SeedLike, ensure_rng, spawn_seed_sequences
 
 
@@ -46,6 +47,7 @@ def _sharded_monte_carlo(
     shards = plan_shards(n_samples, shard_size)
     seeds = spawn_seed_sequences(seed, len(shards))
     checkpoints = checkpoint_grid(n_samples, trace_points)
+    ship_telemetry = _telemetry.ship_to_workers(executor)
     tasks = [
         MCShardTask(
             shard=shard,
@@ -55,6 +57,7 @@ def _sharded_monte_carlo(
             dimension=dimension,
             chunk_size=chunk_size,
             checkpoints=checkpoints,
+            telemetry=ship_telemetry,
         )
         for shard, child in zip(shards, seeds)
     ]
@@ -122,37 +125,46 @@ def brute_force_monte_carlo(
         raise ValueError(f"n_samples must be positive, got {n_samples}")
     dimension = dimension if dimension is not None else getattr(metric, "dimension")
     pool = resolve_executor(executor, n_workers, backend)
-    if pool is not None:
-        return _sharded_monte_carlo(
-            metric, spec, n_samples, dimension, rng, pool,
-            chunk_size, trace_points, shard_size,
-        )
-    rng = ensure_rng(rng)
+    with _telemetry.span(
+        "mc.run", samples=int(n_samples), sharded=pool is not None
+    ) as stage_span:
+        if pool is not None:
+            result = _sharded_monte_carlo(
+                metric, spec, n_samples, dimension, rng, pool,
+                chunk_size, trace_points, shard_size,
+            )
+            stage_span.add("sims", int(n_samples))
+            stage_span.add("failures", int(result.extras["n_failures"]))
+            return result
+        rng = ensure_rng(rng)
 
-    # Shared log-spaced checkpoint grid, clamped to [1, n_samples] so tiny
-    # runs (n_samples < 10) still record every checkpoint; identical to the
-    # grid the sharded path plans, so the traces align point by point.
-    checkpoints = checkpoint_grid(n_samples, trace_points)
-    trace_n, trace_est, trace_rel = [], [], []
+        # Shared log-spaced checkpoint grid, clamped to [1, n_samples] so
+        # tiny runs (n_samples < 10) still record every checkpoint;
+        # identical to the grid the sharded path plans, so the traces align
+        # point by point.
+        checkpoints = checkpoint_grid(n_samples, trace_points)
+        trace_n, trace_est, trace_rel = [], [], []
 
-    failures = 0
-    seen = 0
-    next_cp = 0
-    while seen < n_samples:
-        take = min(chunk_size, n_samples - seen)
-        x = rng.standard_normal((take, dimension))
-        fail = spec.indicator(metric(x))
-        # Record running stats at every checkpoint inside this chunk.
-        cum_inside = np.cumsum(fail)
-        while next_cp < checkpoints.size and checkpoints[next_cp] <= seen + take:
-            at = checkpoints[next_cp]
-            f_at = failures + int(cum_inside[at - seen - 1])
-            trace_n.append(at)
-            trace_est.append(f_at / at)
-            trace_rel.append(montecarlo_relative_error(f_at, at))
-            next_cp += 1
-        failures += int(fail.sum())
-        seen += take
+        failures = 0
+        seen = 0
+        next_cp = 0
+        while seen < n_samples:
+            take = min(chunk_size, n_samples - seen)
+            x = rng.standard_normal((take, dimension))
+            fail = spec.indicator(metric(x))
+            # Record running stats at every checkpoint inside this chunk.
+            cum_inside = np.cumsum(fail)
+            while next_cp < checkpoints.size and checkpoints[next_cp] <= seen + take:
+                at = checkpoints[next_cp]
+                f_at = failures + int(cum_inside[at - seen - 1])
+                trace_n.append(at)
+                trace_est.append(f_at / at)
+                trace_rel.append(montecarlo_relative_error(f_at, at))
+                next_cp += 1
+            failures += int(fail.sum())
+            seen += take
+        stage_span.add("sims", int(n_samples))
+        stage_span.add("failures", int(failures))
 
     estimate = failures / n_samples
     rel = montecarlo_relative_error(failures, n_samples)

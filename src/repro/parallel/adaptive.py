@@ -29,12 +29,13 @@ a performance knob.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.telemetry import clock as _clock
+from repro.telemetry import context as _telemetry
 from repro.utils.rng import SeedLike, spawn_seed_sequences
 
 #: Default wall-clock slice one shard should occupy.  Large enough that
@@ -82,7 +83,7 @@ def probe_metric_cost(
     seed: SeedLike = 0,
     probe_rows: Tuple[int, int] = (16, 512),
     repeats: int = 3,
-    timer: Callable[[], float] = time.perf_counter,
+    timer: Optional[Callable[[], float]] = None,
 ) -> ProbeReport:
     """Time the metric at two batch sizes and fit the linear cost model.
 
@@ -92,8 +93,11 @@ def probe_metric_cost(
     Simulations spent here are real metric evaluations; callers that
     account costs should call through their :class:`CountedMetric`.
 
-    ``timer`` is injectable for tests: with a fake clock the whole report
-    is a pure function of its inputs.
+    ``timer`` defaults to the shared telemetry clock
+    (:func:`repro.telemetry.get_timer`), so the probe and every recorded
+    span read one monotonic source; passing a fake timer here — or
+    installing one with :func:`repro.telemetry.use_timer` — makes the
+    whole report a pure function of its inputs for tests.
     """
     small, large = (int(r) for r in probe_rows)
     if not 0 < small < large:
@@ -102,6 +106,8 @@ def probe_metric_cost(
         )
     if repeats < 1:
         raise ValueError(f"repeats must be positive, got {repeats}")
+    if timer is None:
+        timer = _clock.get_timer()
     (child,) = spawn_seed_sequences(seed, 1)
     rng = np.random.default_rng(child)
     x_small = rng.standard_normal((small, dimension))
@@ -115,8 +121,12 @@ def probe_metric_cost(
             best = min(best, timer() - t0)
         return best
 
-    t_small = best_of(x_small)
-    t_large = best_of(x_large)
+    with _telemetry.span(
+        "adaptive.probe", rows_small=small, rows_large=large, repeats=int(repeats)
+    ) as sp:
+        t_small = best_of(x_small)
+        t_large = best_of(x_large)
+        sp.add("sims", (small + large) * int(repeats))
     per_row = max((t_large - t_small) / (large - small), 0.0)
     per_call = max(t_small - per_row * small, 0.0)
     return ProbeReport(

@@ -28,6 +28,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence
 
+from repro.telemetry import context as _telemetry
+
 #: Recognised backend names.
 BACKENDS = ("serial", "thread", "process")
 
@@ -137,18 +139,25 @@ class ParallelExecutor:
         tasks = list(tasks)
         if not tasks:
             return []
-        if self.runs_inline:
-            return [fn(task) for task in tasks]
-        if self._pool is not None:
-            return list(self._pool.map(fn, tasks))
-        workers = min(self.n_workers, len(tasks))
-        if self.backend == "thread":
-            with ThreadPoolExecutor(max_workers=workers) as pool:
+        with _telemetry.span(
+            "parallel.map",
+            fn=getattr(fn, "__name__", str(fn)),
+            tasks=len(tasks),
+            backend=self.backend,
+            workers=self.n_workers,
+        ):
+            if self.runs_inline:
+                return [fn(task) for task in tasks]
+            if self._pool is not None:
+                return list(self._pool.map(fn, tasks))
+            workers = min(self.n_workers, len(tasks))
+            if self.backend == "thread":
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    return list(pool.map(fn, tasks))
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=self.mp_context
+            ) as pool:
                 return list(pool.map(fn, tasks))
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=self.mp_context
-        ) as pool:
-            return list(pool.map(fn, tasks))
 
     def __repr__(self) -> str:
         return f"ParallelExecutor({self.backend!r}, n_workers={self.n_workers})"

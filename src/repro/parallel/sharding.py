@@ -23,6 +23,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.stats.confidence import montecarlo_relative_error
+from repro.telemetry import context as _telemetry
 
 
 @dataclass(frozen=True)
@@ -96,22 +97,25 @@ def merge_mc_shards(
     where the trace arrays reproduce, exactly, the running estimate a
     serial pass over the same shards would have recorded.
     """
-    ordered = sorted(shard_results, key=lambda r: r.index)
-    covered = sum(r.count for r in ordered)
-    if covered != n_samples:
-        raise ValueError(
-            f"shard results cover {covered} samples, expected {n_samples}"
-        )
-    failures = 0
-    trace_n, trace_est, trace_rel = [], [], []
-    for result in ordered:
-        for at, cum_inside in zip(result.checkpoints, result.cum_failures):
-            f_at = failures + int(cum_inside)
-            at = int(at)
-            trace_n.append(at)
-            trace_est.append(f_at / at)
-            trace_rel.append(montecarlo_relative_error(f_at, at))
-        failures += int(result.n_failures)
+    with _telemetry.span(
+        "merge.mc_shards", shards=len(shard_results), samples=int(n_samples)
+    ):
+        ordered = sorted(shard_results, key=lambda r: r.index)
+        covered = sum(r.count for r in ordered)
+        if covered != n_samples:
+            raise ValueError(
+                f"shard results cover {covered} samples, expected {n_samples}"
+            )
+        failures = 0
+        trace_n, trace_est, trace_rel = [], [], []
+        for result in ordered:
+            for at, cum_inside in zip(result.checkpoints, result.cum_failures):
+                f_at = failures + int(cum_inside)
+                at = int(at)
+                trace_n.append(at)
+                trace_est.append(f_at / at)
+                trace_rel.append(montecarlo_relative_error(f_at, at))
+            failures += int(result.n_failures)
     return (
         failures,
         np.asarray(trace_n),
@@ -143,19 +147,24 @@ def merge_chain_shards(shard_results: Sequence, n_chains: int):
 
     from repro.parallel.transport import unpack_array
 
-    ordered = sorted(shard_results, key=lambda r: r.index)
-    covered = sum(r.count for r in ordered)
-    if covered != n_chains:
-        raise ValueError(
-            f"shard results cover {covered} chains, expected {n_chains}"
+    with _telemetry.span(
+        "merge.chain_shards", shards=len(shard_results), chains=int(n_chains)
+    ):
+        ordered = sorted(shard_results, key=lambda r: r.index)
+        covered = sum(r.count for r in ordered)
+        if covered != n_chains:
+            raise ValueError(
+                f"shard results cover {covered} chains, expected {n_chains}"
+            )
+        samples = np.concatenate(
+            [unpack_array(r.samples) for r in ordered], axis=0
         )
-    samples = np.concatenate([unpack_array(r.samples) for r in ordered], axis=0)
-    widths = np.concatenate(
-        [unpack_array(r.interval_widths) for r in ordered], axis=0
-    )
-    per_chain = np.concatenate(
-        [np.asarray(r.per_chain_simulations, dtype=int) for r in ordered]
-    )
+        widths = np.concatenate(
+            [unpack_array(r.interval_widths) for r in ordered], axis=0
+        )
+        per_chain = np.concatenate(
+            [np.asarray(r.per_chain_simulations, dtype=int) for r in ordered]
+        )
     return MultiChainGibbs(
         samples=samples,
         n_simulations=int(per_chain.sum()),

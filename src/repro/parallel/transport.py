@@ -37,6 +37,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.telemetry import context as _telemetry
+
 try:  # pragma: no cover - import guard exercised via SHM_AVAILABLE=False
     from multiprocessing import resource_tracker, shared_memory
 
@@ -121,6 +123,10 @@ def export_array(array: np.ndarray) -> ShmArrayHandle:
     except Exception:  # pragma: no cover - tracker API is semi-private
         pass
     shm.close()
+    recorder = _telemetry.get_active()
+    if recorder is not None:
+        recorder.count("shm.exports", 1)
+        recorder.count("shm.export_bytes", int(array.nbytes))
     return handle
 
 
@@ -140,6 +146,10 @@ def import_array(handle: ShmArrayHandle) -> np.ndarray:
             shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already reclaimed
             pass
+    recorder = _telemetry.get_active()
+    if recorder is not None:
+        recorder.count("shm.imports", 1)
+        recorder.count("shm.import_bytes", int(array.nbytes))
     return array
 
 

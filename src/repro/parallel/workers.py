@@ -16,6 +16,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.parallel.sharding import Shard
 from repro.parallel.transport import pack_array
 
@@ -36,6 +37,9 @@ class MCShardTask:
     dimension: int
     chunk_size: int
     checkpoints: np.ndarray
+    #: Parent's :func:`repro.telemetry.ship_to_workers` decision: record
+    #: into a worker-local recorder and ship its snapshot home.
+    telemetry: bool = False
 
 
 @dataclass
@@ -54,32 +58,43 @@ class MCShardResult:
     #: for exact cost accounting across process boundaries.
     n_sims: int = 0
     n_calls: int = 0
+    #: Worker recorder snapshot (process backend only; see
+    #: :func:`repro.telemetry.fold_shard_records`).
+    telemetry: Optional[dict] = None
 
 
 def run_mc_shard(task: MCShardTask) -> MCShardResult:
     """Execute one brute-force MC shard with its own deterministic stream."""
     shard = task.shard
-    rng = np.random.default_rng(task.seed)
-    lo, hi = shard.offset, shard.offset + shard.count
-    cps = task.checkpoints[(task.checkpoints > lo) & (task.checkpoints <= hi)]
-    cp_cum = np.zeros(cps.size, dtype=np.int64)
+    shard_tel = telemetry.ShardTelemetry(task.telemetry, f"mc-{shard.index}")
+    with shard_tel, telemetry.span(
+        "shard.mc", index=shard.index, offset=shard.offset, count=shard.count
+    ) as sp:
+        rng = np.random.default_rng(task.seed)
+        lo, hi = shard.offset, shard.offset + shard.count
+        cps = task.checkpoints[
+            (task.checkpoints > lo) & (task.checkpoints <= hi)
+        ]
+        cp_cum = np.zeros(cps.size, dtype=np.int64)
 
-    failures = 0
-    seen = 0
-    next_cp = 0
-    n_calls = 0
-    while seen < shard.count:
-        take = min(task.chunk_size, shard.count - seen)
-        x = rng.standard_normal((take, task.dimension))
-        fail = task.spec.indicator(task.metric(x))
-        n_calls += 1
-        cum_inside = np.cumsum(fail)
-        while next_cp < cps.size and cps[next_cp] <= lo + seen + take:
-            at_local = int(cps[next_cp]) - lo - seen
-            cp_cum[next_cp] = failures + int(cum_inside[at_local - 1])
-            next_cp += 1
-        failures += int(fail.sum())
-        seen += take
+        failures = 0
+        seen = 0
+        next_cp = 0
+        n_calls = 0
+        while seen < shard.count:
+            take = min(task.chunk_size, shard.count - seen)
+            x = rng.standard_normal((take, task.dimension))
+            fail = task.spec.indicator(task.metric(x))
+            n_calls += 1
+            cum_inside = np.cumsum(fail)
+            while next_cp < cps.size and cps[next_cp] <= lo + seen + take:
+                at_local = int(cps[next_cp]) - lo - seen
+                cp_cum[next_cp] = failures + int(cum_inside[at_local - 1])
+                next_cp += 1
+            failures += int(fail.sum())
+            seen += take
+        sp.add("sims", shard.count)
+        sp.add("failures", failures)
     return MCShardResult(
         index=shard.index,
         offset=shard.offset,
@@ -89,6 +104,7 @@ def run_mc_shard(task: MCShardTask) -> MCShardResult:
         cum_failures=cp_cum,
         n_sims=shard.count,
         n_calls=n_calls,
+        telemetry=shard_tel.record(),
     )
 
 
@@ -146,6 +162,9 @@ class GibbsShardTask:
     sampler_options: dict = field(default_factory=dict)
     #: Parent's decision to ship the sample tensor via shared memory.
     shm_payloads: bool = False
+    #: Parent's decision to record worker-local telemetry (see
+    #: :func:`repro.telemetry.ship_to_workers`).
+    telemetry: bool = False
 
 
 @dataclass
@@ -168,6 +187,8 @@ class GibbsShardResult:
     interval_widths: object
     n_sims: int = 0
     n_calls: int = 0
+    #: Worker recorder snapshot (process backend only).
+    telemetry: Optional[dict] = None
 
 
 def run_gibbs_shard(task: GibbsShardTask) -> GibbsShardResult:
@@ -185,47 +206,62 @@ def run_gibbs_shard(task: GibbsShardTask) -> GibbsShardResult:
     from repro.gibbs.coordinates import initial_spherical_coordinates
     from repro.gibbs.spherical import SphericalGibbs
 
-    tally = TallyMetric(task.metric)
-    chain_rngs = [np.random.default_rng(seed) for seed in task.chain_seeds]
-    starts = np.atleast_2d(np.asarray(task.starts, dtype=float))
-    if task.coordinate_system == "cartesian":
-        sampler = CartesianGibbs(
-            tally, task.spec, task.dimension, zeta=task.zeta,
-            bisect_iters=task.bisect_iters, **task.sampler_options,
-        )
-        multi = sampler.run_lockstep(
-            starts, task.n_gibbs, chain_rngs=chain_rngs, verify_start=False
-        )
-    elif task.coordinate_system == "spherical":
-        sampler = SphericalGibbs(
-            tally, task.spec, task.dimension, zeta=task.zeta,
-            bisect_iters=task.bisect_iters, **task.sampler_options,
-        )
-        spherical = [
-            initial_spherical_coordinates(point, task.epsilon)
-            for point in starts
-        ]
-        multi = sampler.run_lockstep(
-            np.array([r for r, _ in spherical]),
-            np.vstack([alpha for _, alpha in spherical]),
-            task.n_gibbs,
-            chain_rngs=chain_rngs,
-            verify_start=False,
-        )
-    else:
-        raise ValueError(
-            f"coordinate_system must be 'cartesian' or 'spherical', "
-            f"got {task.coordinate_system!r}"
-        )
+    shard_tel = telemetry.ShardTelemetry(
+        task.telemetry, f"gibbs-{task.shard.index}"
+    )
+    with shard_tel, telemetry.span(
+        "shard.gibbs",
+        index=task.shard.index,
+        offset=task.shard.offset,
+        chains=task.shard.count,
+        coordinate_system=task.coordinate_system,
+    ) as sp:
+        tally = TallyMetric(task.metric)
+        chain_rngs = [np.random.default_rng(seed) for seed in task.chain_seeds]
+        starts = np.atleast_2d(np.asarray(task.starts, dtype=float))
+        if task.coordinate_system == "cartesian":
+            sampler = CartesianGibbs(
+                tally, task.spec, task.dimension, zeta=task.zeta,
+                bisect_iters=task.bisect_iters, **task.sampler_options,
+            )
+            multi = sampler.run_lockstep(
+                starts, task.n_gibbs, chain_rngs=chain_rngs, verify_start=False
+            )
+        elif task.coordinate_system == "spherical":
+            sampler = SphericalGibbs(
+                tally, task.spec, task.dimension, zeta=task.zeta,
+                bisect_iters=task.bisect_iters, **task.sampler_options,
+            )
+            spherical = [
+                initial_spherical_coordinates(point, task.epsilon)
+                for point in starts
+            ]
+            multi = sampler.run_lockstep(
+                np.array([r for r, _ in spherical]),
+                np.vstack([alpha for _, alpha in spherical]),
+                task.n_gibbs,
+                chain_rngs=chain_rngs,
+                verify_start=False,
+            )
+        else:
+            raise ValueError(
+                f"coordinate_system must be 'cartesian' or 'spherical', "
+                f"got {task.coordinate_system!r}"
+            )
+        samples_payload = pack_array(multi.samples, task.shm_payloads)
+        widths_payload = pack_array(multi.interval_widths, task.shm_payloads)
+        sp.add("sims", tally.n_sims)
+        sp.add("calls", tally.n_calls)
     return GibbsShardResult(
         index=task.shard.index,
         offset=task.shard.offset,
         count=task.shard.count,
-        samples=pack_array(multi.samples, task.shm_payloads),
+        samples=samples_payload,
         per_chain_simulations=multi.per_chain_simulations,
-        interval_widths=pack_array(multi.interval_widths, task.shm_payloads),
+        interval_widths=widths_payload,
         n_sims=tally.n_sims,
         n_calls=tally.n_calls,
+        telemetry=shard_tel.record(),
     )
 
 
@@ -243,6 +279,9 @@ class ISShardTask:
     store_samples: bool = False
     #: Parent's decision to ship stored samples via shared memory.
     shm_payloads: bool = False
+    #: Parent's decision to record worker-local telemetry (see
+    #: :func:`repro.telemetry.ship_to_workers`).
+    telemetry: bool = False
 
 
 @dataclass
@@ -262,6 +301,8 @@ class ISShardResult:
     failed: Optional[np.ndarray] = None
     n_sims: int = 0
     n_calls: int = 0
+    #: Worker recorder snapshot (process backend only).
+    telemetry: Optional[dict] = None
 
 
 def run_is_shard(task: ISShardTask) -> ISShardResult:
@@ -279,23 +320,33 @@ def run_is_shard(task: ISShardTask) -> ISShardResult:
     from repro.mc.importance import importance_weights
 
     shard = task.shard
-    sample_shard = getattr(task.proposal, "sample_shard", None)
-    if sample_shard is not None:
-        x = sample_shard(shard.offset, shard.count)
-    else:
-        rng = np.random.default_rng(task.seed)
-        x = task.proposal.sample(shard.count, rng)
-    fail = np.asarray(task.spec.indicator(task.metric(x)), dtype=bool)
-    weights = importance_weights(x, fail, task.proposal, task.nominal)
+    shard_tel = telemetry.ShardTelemetry(task.telemetry, f"is-{shard.index}")
+    with shard_tel, telemetry.span(
+        "shard.is", index=shard.index, offset=shard.offset, count=shard.count
+    ) as sp:
+        sample_shard = getattr(task.proposal, "sample_shard", None)
+        if sample_shard is not None:
+            x = sample_shard(shard.offset, shard.count)
+        else:
+            rng = np.random.default_rng(task.seed)
+            x = task.proposal.sample(shard.count, rng)
+        fail = np.asarray(task.spec.indicator(task.metric(x)), dtype=bool)
+        weights = importance_weights(x, fail, task.proposal, task.nominal)
+        samples_payload = (
+            pack_array(x, task.shm_payloads) if task.store_samples else None
+        )
+        sp.add("sims", shard.count)
+        sp.add("failures", int(fail.sum()))
     return ISShardResult(
         index=shard.index,
         count=shard.count,
         weights=weights,
         n_failures=int(fail.sum()),
-        samples=pack_array(x, task.shm_payloads) if task.store_samples else None,
+        samples=samples_payload,
         failed=fail if task.store_samples else None,
         n_sims=shard.count,
         n_calls=1,
+        telemetry=shard_tel.record(),
     )
 
 
@@ -317,6 +368,9 @@ class BlockadeShardTask:
     threshold: float
     dimension: int
     chunk_size: int
+    #: Parent's decision to record worker-local telemetry (see
+    #: :func:`repro.telemetry.ship_to_workers`).
+    telemetry: bool = False
 
 
 @dataclass
@@ -329,24 +383,38 @@ class BlockadeShardResult:
     n_simulated: int
     n_sims: int = 0
     n_calls: int = 0
+    #: Worker recorder snapshot (process backend only).
+    telemetry: Optional[dict] = None
 
 
 def run_blockade_shard(task: BlockadeShardTask) -> BlockadeShardResult:
     """Screen one shard of blockade candidates with its own child stream."""
-    rng = np.random.default_rng(task.seed)
-    tally = TallyMetric(task.metric)
-    failures = 0
-    simulated = 0
-    generated = 0
-    while generated < task.shard.count:
-        take = min(task.chunk_size, task.shard.count - generated)
-        x = rng.standard_normal((take, task.dimension))
-        candidate = task.classifier.predict(x) < task.threshold
-        if np.any(candidate):
-            values = tally(x[candidate])
-            failures += int(np.sum(task.spec.indicator(values)))
-            simulated += int(candidate.sum())
-        generated += take
+    shard_tel = telemetry.ShardTelemetry(
+        task.telemetry, f"blockade-{task.shard.index}"
+    )
+    with shard_tel, telemetry.span(
+        "shard.blockade",
+        index=task.shard.index,
+        offset=task.shard.offset,
+        count=task.shard.count,
+    ) as sp:
+        rng = np.random.default_rng(task.seed)
+        tally = TallyMetric(task.metric)
+        failures = 0
+        simulated = 0
+        generated = 0
+        while generated < task.shard.count:
+            take = min(task.chunk_size, task.shard.count - generated)
+            x = rng.standard_normal((take, task.dimension))
+            candidate = task.classifier.predict(x) < task.threshold
+            if np.any(candidate):
+                values = tally(x[candidate])
+                failures += int(np.sum(task.spec.indicator(values)))
+                simulated += int(candidate.sum())
+            generated += take
+        sp.add("generated", task.shard.count)
+        sp.add("sims", tally.n_sims)
+        sp.add("failures", failures)
     return BlockadeShardResult(
         index=task.shard.index,
         count=task.shard.count,
@@ -354,6 +422,7 @@ def run_blockade_shard(task: BlockadeShardTask) -> BlockadeShardResult:
         n_simulated=simulated,
         n_sims=tally.n_sims,
         n_calls=tally.n_calls,
+        telemetry=shard_tel.record(),
     )
 
 
@@ -370,6 +439,11 @@ def fold_external_counts(metric, executor, shard_results) -> None:
     """
     if executor is None or not executor.cross_process:
         return
+    # Worker recorder snapshots come home on the same boat as the counts
+    # and fold into the parent's active recorder here — before the
+    # add_external lookup, so shard spans survive even for metrics that
+    # carry no counter of their own.
+    telemetry.fold_shard_records(shard_results)
     add_external = getattr(metric, "add_external", None)
     if add_external is None:
         return

@@ -1,0 +1,120 @@
+"""Trace export: JSONL event stream and Chrome ``trace_event`` files.
+
+Two formats, one source of truth (:meth:`Recorder.to_record`):
+
+* **JSONL** — one JSON object per line, machine-parseable with nothing
+  but a line reader: a ``manifest`` record first (when the recorder
+  carries one), then every span as a ``span`` record, then one
+  ``counters`` / ``gauges`` / ``histograms`` record each.  This is the
+  stable schema; :func:`read_jsonl` round-trips it for tests and tools.
+* **Chrome trace_event JSON** — the ``chrome://tracing`` / Perfetto
+  format: spans become complete (``"ph": "X"``) events whose pid/tid are
+  the recording worker's, so the process-parallel fan-out renders as one
+  lane per worker with the parent's stage spans above them.
+
+Timestamps are reported relative to the parent recorder's ``t0`` on the
+shared monotonic clock; worker spans recorded on the same machine share
+that base (see :mod:`repro.telemetry.clock`).  Timestamps are telemetry,
+not results — they are explicitly outside the determinism contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.telemetry.recorder import Recorder
+
+#: Schema tag stamped on every JSONL stream (bump on breaking changes).
+JSONL_SCHEMA = "repro-telemetry-v1"
+
+
+def recorder_events(recorder: Recorder) -> List[dict]:
+    """The recorder's content as the ordered list of JSONL records."""
+    snapshot = recorder.to_record()
+    events: List[dict] = [
+        {
+            "type": "header",
+            "schema": JSONL_SCHEMA,
+            "run_id": snapshot["run_id"],
+        }
+    ]
+    manifest = recorder.meta.get("manifest")
+    if manifest is not None:
+        events.append({"type": "manifest", "manifest": manifest})
+    for span in snapshot["spans"]:
+        event = dict(span)
+        event["type"] = "span"
+        event["start"] = float(event.get("start", 0.0)) - float(recorder.t0)
+        events.append(event)
+    events.append({"type": "counters", "values": snapshot["counters"]})
+    events.append({"type": "gauges", "values": snapshot["gauges"]})
+    events.append({"type": "histograms", "values": snapshot["histograms"]})
+    return events
+
+
+def write_jsonl(recorder: Recorder, path) -> None:
+    """Write the recorder's event stream as one JSON object per line."""
+    with open(path, "w", encoding="utf-8") as stream:
+        for event in recorder_events(recorder):
+            stream.write(json.dumps(event, sort_keys=True, default=str))
+            stream.write("\n")
+
+
+def read_jsonl(path) -> List[dict]:
+    """Parse a JSONL event stream back into its record list."""
+    events = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def chrome_trace_events(recorder: Recorder) -> List[dict]:
+    """The recorder's spans as Chrome ``trace_event`` complete events."""
+    snapshot = recorder.to_record()
+    t0 = float(recorder.t0)
+    events = []
+    for span in snapshot["spans"]:
+        args = dict(span.get("attrs", {}))
+        args.update(span.get("counters", {}))
+        events.append(
+            {
+                "name": span["name"],
+                "cat": "repro",
+                "ph": "X",
+                # Chrome wants microseconds; clamp spans that started
+                # before the parent recorder existed onto the origin.
+                "ts": max(
+                    (float(span.get("start", 0.0)) - t0) * 1e6, 0.0
+                ),
+                "dur": max(float(span.get("dur", 0.0)) * 1e6, 0.0),
+                "pid": int(span.get("pid", 0)),
+                "tid": int(span.get("tid", 0)),
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(recorder: Recorder, path) -> None:
+    """Write a ``chrome://tracing`` / Perfetto compatible trace file."""
+    snapshot = recorder.to_record()
+    manifest: Optional[dict] = recorder.meta.get("manifest")
+    payload = {
+        "traceEvents": chrome_trace_events(recorder),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "run_id": snapshot["run_id"],
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "histograms": snapshot["histograms"],
+        },
+    }
+    if manifest is not None:
+        payload["otherData"]["manifest"] = manifest
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=1, sort_keys=True, default=str)
+        stream.write("\n")

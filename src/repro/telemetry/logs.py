@@ -1,0 +1,105 @@
+"""Structured CLI logging: diagnostics on stderr, results on stdout.
+
+The CLI's contract after this module is simple: **stdout carries only
+machine-parseable results** (summaries, tables, region maps) and every
+diagnostic — progress lines, verbose extras, warnings, errors — flows
+through the ``repro`` :mod:`logging` logger to stderr.  ``--log-json``
+switches the stderr stream to one JSON object per line so log collectors
+ingest it without a parser.
+
+``configure_cli_logging`` rebuilds the handler on every call against the
+*current* ``sys.stderr`` — deliberate, so repeated ``main()`` invocations
+(and pytest's capsys stream swapping) always write to the live stream.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional
+
+#: The one logger name the CLI (and anything else in repro) logs under.
+LOGGER_NAME = "repro"
+
+
+def get_logger() -> logging.Logger:
+    """The shared ``repro`` logger."""
+    return logging.getLogger(LOGGER_NAME)
+
+
+class _TextFormatter(logging.Formatter):
+    """Message plus ``key=value`` rendering of structured fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        fields = getattr(record, "fields", None)
+        if fields:
+            rendered = " ".join(
+                f"{key}={value}" for key, value in fields.items()
+            )
+            message = f"{message} {rendered}"
+        if record.levelno >= logging.ERROR:
+            return f"error: {message}"
+        if record.levelno >= logging.WARNING:
+            return f"note: {message}"
+        return message
+
+
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per line: level, message, structured fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": time.time(),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload.update(fields)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure_cli_logging(
+    json_mode: bool = False,
+    level: int = logging.INFO,
+    stream=None,
+) -> logging.Logger:
+    """(Re)wire the ``repro`` logger to stderr, text or JSON formatted.
+
+    Clears previous handlers first, so each CLI invocation owns the
+    logger's configuration and binds to the stream that is current *now*.
+    """
+    logger = get_logger()
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(
+        stream if stream is not None else sys.stderr
+    )
+    handler.setFormatter(_JsonFormatter() if json_mode else _TextFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def _log(level: int, message: str, fields: dict) -> None:
+    get_logger().log(level, message, extra={"fields": fields or None})
+
+
+def info(message: str, **fields) -> None:
+    """Structured info-level diagnostic (stderr)."""
+    _log(logging.INFO, message, fields)
+
+
+def warning(message: str, **fields) -> None:
+    """Structured warning (rendered with a ``note:`` prefix in text mode)."""
+    _log(logging.WARNING, message, fields)
+
+
+def error(message: str, **fields) -> None:
+    """Structured error (rendered with an ``error:`` prefix in text mode)."""
+    _log(logging.ERROR, message, fields)
