@@ -1,0 +1,157 @@
+"""Cold vs warm query latency through the yield service's artifact cache.
+
+Three measured passes over the same logical query (iread, G-S):
+
+* **cold** — empty cache: the job pays the full first stage (starting
+  point search + Gibbs chain + proposal fit) plus the second stage;
+* **warm** — identical repeat: the cache returns the stored result with
+  zero simulations of any kind;
+* **refined** — same query at 4x the second-stage budget: the stored
+  artifact is reused (zero first-stage sims) and only the missing shards
+  of the larger grid are evaluated, with the refined estimate asserted
+  bit-identical to a fresh run at the full budget.
+
+Headline numbers land in ``BENCH_service_cache.json`` at the repository
+root, ``cpu_count`` recorded alongside.  The structural assertions
+(zero sims on the warm hit, zero first-stage sims on refinement, the
+bit-identity) are enforced at every scale; the latency ratios are
+recorded, not gated — they depend on machine and budget.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks._shared import scaled, write_report
+from repro.analysis.tables import format_table
+from repro.parallel import default_workers
+from repro.service import ArtifactCache, JobRequest, execute_job
+
+JSON_PATH = Path(__file__).parent.parent / "BENCH_service_cache.json"
+
+
+def run(tmp_root: Path = None):
+    cpu_count = default_workers()
+    root = Path(tmp_root) if tmp_root else (
+        Path(__file__).parent / "results" / "service_cache_scratch"
+    )
+    cache = ArtifactCache(root)
+
+    shard_size = scaled(1024, 64)
+    base = dict(
+        problem="iread", method="G-S", seed=2011,
+        n_gibbs=scaled(300, 40),
+        doe_budget=scaled(1000, 100),
+        shard_size=shard_size,
+    )
+    # A whole number of shards, so the larger grid is a strict superset
+    # and the refinement path (not the regrid fallback) is what we time.
+    n_small = 8 * shard_size
+    n_large = 4 * n_small
+    records = []
+
+    def timed(label, request, use_cache_dir=cache):
+        t0 = time.perf_counter()
+        result, manifest = execute_job(request, cache=use_cache_dir)
+        elapsed = time.perf_counter() - t0
+        job = manifest["job"]
+        records.append({
+            "pass": label,
+            "elapsed_s": elapsed,
+            "mode": job["mode"],
+            "cache_hit": job["cache_hit"],
+            "sims_run": job["sims_run"],
+            "first_stage_sims": job["first_stage_sims"],
+            "first_stage_sims_saved": job["first_stage_sims_saved"],
+            "first_stage_seconds_saved": job["first_stage_seconds_saved"],
+            "estimate": result.failure_probability,
+            "n_second_stage": result.n_second_stage,
+        })
+        return result, job
+
+    cold_request = JobRequest(**base, n_second_stage=n_small)
+    cold, cold_job = timed("cold", cold_request)
+    assert cold_job["mode"] == "cold" and not cold_job["cache_hit"]
+
+    warm, warm_job = timed("warm", cold_request)
+    # The cache's headline contract: a warm hit simulates nothing.
+    assert warm_job["cache_hit"] and warm_job["mode"] == "cached_result"
+    assert warm_job["sims_run"] == 0 and warm_job["first_stage_sims"] == 0
+    assert warm.failure_probability == cold.failure_probability
+
+    refine_request = JobRequest(**base, n_second_stage=n_large)
+    refined, refine_job = timed("refined", refine_request)
+    assert refine_job["mode"] == "refined"
+    assert refine_job["first_stage_sims"] == 0
+    assert refine_job["sims_run"] == n_large - n_small
+
+    # Bit-identity: the refined estimate equals a fresh cold run at the
+    # same total budget (fresh cache so nothing is reused).
+    fresh, fresh_job = timed(
+        "fresh_at_large_budget", refine_request,
+        use_cache_dir=ArtifactCache(root / "fresh"),
+    )
+    assert fresh_job["mode"] == "cold"
+    assert refined.failure_probability == fresh.failure_probability
+    np.testing.assert_array_equal(
+        refined.trace.estimate, fresh.trace.estimate
+    )
+
+    cold_s = records[0]["elapsed_s"]
+    warm_s = records[1]["elapsed_s"]
+    refine_s = records[2]["elapsed_s"]
+    fresh_s = records[3]["elapsed_s"]
+    payload = {
+        "cpu_count": cpu_count,
+        "problem": "iread (read current, M = 2)",
+        "method": "G-S",
+        "n_second_stage_small": n_small,
+        "n_second_stage_large": n_large,
+        "records": records,
+        "warm_speedup_vs_cold": cold_s / warm_s,
+        "refine_speedup_vs_fresh": fresh_s / refine_s,
+        "warm_sims_run": records[1]["sims_run"],
+        "refined_first_stage_sims": records[2]["first_stage_sims"],
+        "refined_equals_fresh": True,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        [
+            r["pass"], r["mode"], f"{r['elapsed_s']:.3f}",
+            r["sims_run"], r["first_stage_sims"],
+            r["first_stage_sims_saved"], f"{r['estimate']:.3e}",
+        ]
+        for r in records
+    ]
+    report = (
+        f"machine: {cpu_count} usable core(s)\n\n"
+        f"yield-service cache, iread / G-S, "
+        f"N = {n_small} -> {n_large} (refinement):\n"
+        + format_table(
+            ["pass", "mode", "time [s]", "sims", "stage-1 sims",
+             "stage-1 saved", "estimate"],
+            rows,
+        )
+        + f"\n\nwarm hit: {cold_s / warm_s:.0f}x faster than cold, "
+        f"0 simulations\n"
+        f"refinement: {fresh_s / refine_s:.2f}x faster than a fresh run at "
+        f"the same budget, 0 first-stage sims, result bit-identical\n"
+        f"JSON record: {JSON_PATH.name}"
+    )
+    write_report("service_cache", report)
+
+
+def test_service_cache(benchmark, tmp_path):
+    benchmark.pedantic(
+        lambda: run(tmp_path), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        run(Path(scratch))

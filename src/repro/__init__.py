@@ -41,15 +41,19 @@ from repro.baselines import (
 )
 from repro.gibbs import (
     CartesianGibbs,
+    FirstStageArtifact,
     SphericalGibbs,
     find_starting_point,
+    fit_first_stage,
     gibbs_importance_sampling,
 )
 from repro.mc import (
+    SCHEMA_VERSION,
     CountedMetric,
     EstimationResult,
     FailureSpec,
     brute_force_monte_carlo,
+    content_key,
     importance_sampling_estimate,
 )
 from repro.sram import (
@@ -65,6 +69,14 @@ from repro.sram import (
     write_time_problem,
 )
 from repro.parallel import ParallelExecutor
+from repro.service import (
+    ArtifactCache,
+    JobRequest,
+    ServiceClient,
+    YieldService,
+    execute_job,
+    job_key,
+)
 from repro.stats import MultivariateNormal, PCAWhitener
 from repro.telemetry import Recorder
 from repro.synthetic import (
@@ -79,6 +91,8 @@ __version__ = "1.0.0"
 __all__ = [
     # core flow
     "gibbs_importance_sampling",
+    "fit_first_stage",
+    "FirstStageArtifact",
     "CartesianGibbs",
     "SphericalGibbs",
     "find_starting_point",
@@ -88,6 +102,8 @@ __all__ = [
     "EstimationResult",
     "brute_force_monte_carlo",
     "importance_sampling_estimate",
+    "content_key",
+    "SCHEMA_VERSION",
     # baselines
     "mixture_importance_sampling",
     "minimum_norm_importance_sampling",
@@ -113,6 +129,13 @@ __all__ = [
     "AnnularArcMetric",
     # parallel execution layer
     "ParallelExecutor",
+    # yield-estimation service
+    "YieldService",
+    "ArtifactCache",
+    "JobRequest",
+    "ServiceClient",
+    "execute_job",
+    "job_key",
     # telemetry
     "Recorder",
     # analysis harness

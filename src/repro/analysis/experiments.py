@@ -48,6 +48,8 @@ def run_method(
     store_samples: bool = False,
     n_workers: Optional[int] = None,
     backend: str = "process",
+    executor: Optional[ParallelExecutor] = None,
+    first_stage=None,
     **kwargs,
 ) -> EstimationResult:
     """Run one named method on a problem.
@@ -73,6 +75,14 @@ def run_method(
         methods, both stages for the Gibbs methods when ``n_chains > 1``,
         the whole run for "MC") across this many workers on ``backend``;
         ``None`` keeps the serial paths.
+    executor:
+        Prebuilt :class:`~repro.parallel.ParallelExecutor` (e.g. the
+        yield service's persistent pool); overrides
+        ``n_workers``/``backend``.
+    first_stage:
+        Prebuilt :class:`~repro.gibbs.two_stage.FirstStageArtifact` for
+        the Gibbs methods: skips the first stage entirely (zero
+        first-stage simulations).  Ignored by the other methods.
     kwargs:
         Forwarded to the method implementation (e.g. ``bisect_iters``,
         ``proposal_fit``, ``lambda_original``, ``chain_group_size``,
@@ -85,7 +95,8 @@ def run_method(
             n_first_stage=n_exploration,
             n_second_stage=n_second_stage,
             rng=rng, store_samples=store_samples,
-            n_workers=n_workers, backend=backend, **kwargs,
+            n_workers=n_workers, backend=backend, executor=executor,
+            **kwargs,
         )
     if name == "MNIS":
         return minimum_norm_importance_sampling(
@@ -93,7 +104,8 @@ def run_method(
             n_first_stage=doe_budget or 1000,
             n_second_stage=n_second_stage,
             rng=rng, store_samples=store_samples,
-            n_workers=n_workers, backend=backend, **kwargs,
+            n_workers=n_workers, backend=backend, executor=executor,
+            **kwargs,
         )
     if name in ("G-C", "G-S"):
         system = "cartesian" if name == "G-C" else "spherical"
@@ -105,12 +117,14 @@ def run_method(
             n_second_stage=n_second_stage,
             doe_budget=doe_budget,
             rng=rng, store_samples=store_samples,
-            n_workers=n_workers, backend=backend, **kwargs,
+            n_workers=n_workers, backend=backend, executor=executor,
+            first_stage=first_stage, **kwargs,
         )
     if name == "MC":
         return brute_force_monte_carlo(
             metric, problem.spec, n_second_stage, rng=rng,
-            n_workers=n_workers, backend=backend, **kwargs
+            n_workers=n_workers, backend=backend, executor=executor,
+            **kwargs
         )
     raise ValueError(f"unknown method {name!r}; choose from {METHODS + ('MC',)}")
 

@@ -119,6 +119,8 @@ def mixture_importance_sampling(
     store_samples: bool = False,
     n_workers=None,
     backend: str = "process",
+    shard_size=8192,
+    executor=None,
 ) -> EstimationResult:
     """Run the full MIS flow and return its estimate.
 
@@ -127,7 +129,9 @@ def mixture_importance_sampling(
     is outside ``[-s, +s]^M`` or vanishingly thin.
 
     ``n_workers``/``backend`` shard the second stage across cores (see
-    :func:`repro.mc.importance.importance_sampling_estimate`).
+    :func:`repro.mc.importance.importance_sampling_estimate`);
+    ``executor`` reuses a caller-owned pool (e.g. the yield service's)
+    instead.
     """
     rng = ensure_rng(rng)
     counted = metric if isinstance(metric, CountedMetric) else CountedMetric(
@@ -163,4 +167,6 @@ def mixture_importance_sampling(
         extras={"shift": centre_of_gravity, "n_exploration_failures": int(failing.sum())},
         n_workers=n_workers,
         backend=backend,
+        shard_size=shard_size,
+        executor=executor,
     )

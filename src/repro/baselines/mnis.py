@@ -39,13 +39,17 @@ def minimum_norm_importance_sampling(
     store_samples: bool = False,
     n_workers=None,
     backend: str = "process",
+    shard_size=8192,
+    executor=None,
 ) -> EstimationResult:
     """Run the full MNIS flow and return its estimate.
 
     ``n_first_stage`` is the norm-minimisation budget (DOE plus
     verification walks); the proposal is ``N(x*, I)``.
     ``n_workers``/``backend`` shard the second stage across cores (see
-    :func:`repro.mc.importance.importance_sampling_estimate`).
+    :func:`repro.mc.importance.importance_sampling_estimate`);
+    ``executor`` reuses a caller-owned pool (e.g. the yield service's)
+    instead.
     """
     rng = ensure_rng(rng)
     counted = metric if isinstance(metric, CountedMetric) else CountedMetric(
@@ -74,4 +78,6 @@ def minimum_norm_importance_sampling(
         extras={"minimum_norm_point": start.x, "starting_point": start},
         n_workers=n_workers,
         backend=backend,
+        shard_size=shard_size,
+        executor=executor,
     )

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows without writing any Python:
+Six commands cover the common workflows without writing any Python:
 
 * ``estimate`` — run one method on a built-in problem::
 
@@ -14,6 +14,24 @@ Three commands cover the common workflows without writing any Python:
 * ``region`` — print the ASCII failure-region map of a 2-D problem::
 
       python -m repro region --problem iread --extent 8
+
+* ``serve`` — run the yield-estimation service with a persistent
+  proposal cache (see ``docs/SERVICE.md``)::
+
+      python -m repro serve --cache-dir .repro-cache --port 8642
+
+* ``submit`` — submit one job (or a JSON batch file) to a running
+  service and optionally wait for the result::
+
+      python -m repro submit --problem iread --method G-S --wait 120
+
+* ``jobs`` — list a running service's jobs with cache accounting::
+
+      python -m repro jobs --url http://127.0.0.1:8642
+
+An interrupted run (SIGINT) exits with status 130 after the parallel
+layer has cancelled queued shards and joined its worker processes — no
+orphaned pools or shared-memory segments.
 
 Output contract: **stdout carries only results** (summaries, the chain
 line, agreement tables, region maps); every diagnostic — progress lines,
@@ -29,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import sys
 from typing import List, Optional
 
@@ -121,6 +140,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reg.add_argument("--extent", type=float, default=8.0)
     reg.add_argument("--grid", type=int, default=61)
+
+    srv = sub.add_parser(
+        "serve", help="run the yield-estimation service (see docs/SERVICE.md)"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8642,
+                     help="listen port (0 picks a free one)")
+    srv.add_argument("--cache-dir", default=None,
+                     help="artifact-cache root; omit to serve without "
+                          "persistence (every job runs cold)")
+    srv.add_argument("--job-workers", type=int, default=2,
+                     help="jobs simulating concurrently")
+    srv.add_argument("--workers", type=int, default=1,
+                     help="simulation workers in the persistent pool")
+    srv.add_argument("--backend", choices=("serial", "thread", "process"),
+                     default="serial",
+                     help="pool backend (default: serial/inline)")
+    srv.add_argument("--job-timeout", type=float, default=None,
+                     help="default per-job wall-clock limit in seconds")
+    srv.add_argument("--log-json", action="store_true",
+                     help="emit stderr diagnostics as one JSON object "
+                          "per line")
+
+    def add_client(p):
+        p.add_argument("--url", default="http://127.0.0.1:8642",
+                       help="service base URL")
+        p.add_argument("--log-json", action="store_true",
+                       help="emit stderr diagnostics as one JSON object "
+                            "per line")
+
+    sm = sub.add_parser(
+        "submit", help="submit a job (or batch file) to a running service"
+    )
+    add_client(sm)
+    sm.add_argument("--problem", choices=sorted(PROBLEMS), default="iread")
+    sm.add_argument("--method", choices=METHODS + ("MC",), default="G-S")
+    sm.add_argument("--corner", default="TT",
+                    help="global process corner (TT/FF/SS/FS/SF)")
+    sm.add_argument("--sigma-global", type=float, default=0.03,
+                    help="die-to-die threshold sigma of the corner model")
+    sm.add_argument("--threshold", type=float, default=None,
+                    help="failure-spec threshold override")
+    sm.add_argument("--seed", type=int, default=0)
+    sm.add_argument("--n-second", type=int, default=5000,
+                    help="second-stage budget N (a floor on cache hits)")
+    sm.add_argument("--n-gibbs", type=int, default=300)
+    sm.add_argument("--n-chains", type=int, default=1)
+    sm.add_argument("--doe-budget", type=int, default=None)
+    sm.add_argument("--shard-size", type=int, default=1024,
+                    help="second-stage samples per shard (part of the "
+                         "stored record's identity)")
+    sm.add_argument("--timeout", type=float, default=None,
+                    help="per-job wall-clock limit in seconds")
+    sm.add_argument("--no-cache", action="store_true",
+                    help="force a cold run (the result still lands in "
+                         "the cache)")
+    sm.add_argument("--batch", metavar="FILE", default=None,
+                    help="JSON file with a list of job objects; "
+                         "overrides the single-job options")
+    sm.add_argument("--wait", type=float, default=None,
+                    help="block up to this many seconds for the "
+                         "result(s) and print them")
+
+    lst = sub.add_parser("jobs", help="list a running service's jobs")
+    add_client(lst)
     return parser
 
 
@@ -296,6 +380,119 @@ def _cmd_region(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Local import: the serving layer is optional machinery the
+    # single-run commands never need to pay for.
+    from repro.service import YieldService, serve_forever
+
+    service = YieldService(
+        cache_dir=args.cache_dir,
+        n_job_workers=args.job_workers,
+        n_workers=args.workers,
+        backend=args.backend,
+        default_timeout=args.job_timeout,
+    )
+    if args.cache_dir is None:
+        logs.warning("no --cache-dir: serving without persistence "
+                     "(every job runs cold)")
+    serve_forever(service, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    if args.batch:
+        with open(args.batch) as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, list):
+            logs.error(f"batch file {args.batch} must hold a JSON list "
+                       "of job objects")
+            return 2
+        requests = payload
+    else:
+        request = {
+            "problem": args.problem,
+            "method": args.method,
+            "corner": args.corner,
+            "sigma_global": args.sigma_global,
+            "seed": args.seed,
+            "n_second_stage": args.n_second,
+            "n_gibbs": args.n_gibbs,
+            "n_chains": args.n_chains,
+            "shard_size": args.shard_size,
+        }
+        if args.threshold is not None:
+            request["threshold"] = args.threshold
+        if args.doe_budget is not None:
+            request["doe_budget"] = args.doe_budget
+        if args.timeout is not None:
+            request["timeout"] = args.timeout
+        if args.no_cache:
+            request["use_cache"] = False
+        requests = [request]
+    try:
+        ids = client.submit_batch(requests)
+        for job_id in ids:
+            print(job_id)
+        if args.wait is None:
+            return 0
+        for job_id in ids:
+            payload = client.result(job_id, wait=args.wait)
+            result = payload.get("result", {})
+            job = payload.get("job", {})
+            print(
+                f"{job_id}: P_f = {result.get('failure_probability'):.3e} "
+                f"(rel. err. {100 * result.get('relative_error', 0):.2f}%, "
+                f"{result.get('n_first_stage')} + "
+                f"{result.get('n_second_stage')} sims, "
+                f"cache_hit={job.get('cache_hit')}, mode={job.get('mode')})"
+            )
+    except ServiceError as exc:
+        logs.error(str(exc))
+        return 1
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        jobs = client.jobs()
+        health = client.health()
+    except ServiceError as exc:
+        logs.error(str(exc))
+        return 1
+    for status in jobs:
+        request = status["request"]
+        record = status.get("job") or {}
+        line = (
+            f"{status['id']}  {status['state']:<9} "
+            f"{request['problem']}/{request['method']} "
+            f"seed={request['seed']} N={request['n_second_stage']}"
+        )
+        if record:
+            line += (
+                f"  cache_hit={record.get('cache_hit')} "
+                f"mode={record.get('mode')} "
+                f"saved={record.get('first_stage_sims_saved')} sims"
+            )
+        if status.get("error"):
+            line += f"  error: {status['error']}"
+        print(line)
+    cache = health.get("cache")
+    if cache:
+        print(
+            f"cache: {cache['entries']} entries, {cache['hits']} hits / "
+            f"{cache['misses']} misses, {cache['refinements']} refinements"
+        )
+    saved = health.get("first_stage_sims_saved", 0)
+    print(f"first-stage sims saved: {saved}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     logs.configure_cli_logging(json_mode=getattr(args, "log_json", False))
@@ -303,8 +500,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "estimate": _cmd_estimate,
         "compare": _cmd_compare,
         "region": _cmd_region,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # Context-managed pools have already unwound by the time the
+        # interrupt propagates here (ParallelExecutor.__exit__ cancels
+        # queued shards; serve_forever closes the service) — exit with
+        # the conventional SIGINT status instead of a traceback.
+        logs.error("interrupted; worker pools torn down")
+        return 130
 
 
 if __name__ == "__main__":

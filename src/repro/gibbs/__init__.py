@@ -33,7 +33,11 @@ from repro.gibbs.inverse_transform import (
 )
 from repro.gibbs.spherical import SphericalGibbs
 from repro.gibbs.starting_point import StartingPoint, find_starting_point
-from repro.gibbs.two_stage import gibbs_importance_sampling
+from repro.gibbs.two_stage import (
+    FirstStageArtifact,
+    fit_first_stage,
+    gibbs_importance_sampling,
+)
 
 __all__ = [
     "failure_interval",
@@ -51,4 +55,6 @@ __all__ = [
     "StartingPoint",
     "find_starting_point",
     "gibbs_importance_sampling",
+    "FirstStageArtifact",
+    "fit_first_stage",
 ]

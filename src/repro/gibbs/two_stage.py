@@ -36,7 +36,9 @@ a metric-throughput probe (``chain_group_size="adaptive"``).
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Optional, Union
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
@@ -48,7 +50,7 @@ from repro.mc.counter import CountedMetric
 from repro.mc.diagnostics import diagnose_chains
 from repro.mc.importance import importance_sampling_estimate
 from repro.mc.indicator import FailureSpec
-from repro.mc.results import EstimationResult
+from repro.mc.results import SCHEMA_VERSION, EstimationResult
 from repro.parallel.adaptive import (
     adaptive_group_size,
     adaptive_shard_size,
@@ -70,6 +72,87 @@ from repro.utils.rng import SeedLike, ensure_rng, spawn_seed_sequences
 
 #: Method labels used throughout the experiment harness and the paper.
 LABELS = {"cartesian": "G-C", "spherical": "G-S"}
+
+
+@dataclass
+class FirstStageArtifact:
+    """Everything the expensive first stage produces, in reusable form.
+
+    The two-stage split has an economic asymmetry the yield service
+    (:mod:`repro.service`) exploits: the fitted proposal and the verified
+    starting point cost hundreds of transistor-level simulations to build
+    but are cheap to *reuse* — a repeat query with the same first-stage
+    identity can skip the Gibbs stage entirely and re-run only the
+    parametric second stage.  This record is the extraction/injection
+    seam: :func:`fit_first_stage` produces it, and passing it back into
+    :func:`gibbs_importance_sampling` (``first_stage=...``) — or the
+    service runner's shard-level second stage — consumes it with **zero**
+    first-stage metric evaluations.
+
+    Attributes
+    ----------
+    proposal:
+        The fitted ``g_nor`` (plain :class:`MultivariateNormal` or
+        :class:`GaussianMixture`; never QMC-wrapped — wrapping is a
+        second-stage decision).
+    starting_point:
+        The verified Algorithm-4 minimum-norm failure point.
+    n_first_stage:
+        Simulations the build cost (starting-point search + chains + fit).
+    fit_seconds:
+        Wall-clock seconds the build took — the "first-stage seconds
+        saved" a cache hit reports.
+    extras:
+        The stage's result extras (chain, diagnostics, ...); ``lean()``
+        drops the bulky chain for persistence.
+    schema_version:
+        Persisted-format version (see :data:`repro.mc.results.SCHEMA_VERSION`);
+        loaders refuse mismatched artifacts loudly.
+    """
+
+    coordinate_system: str
+    proposal: object
+    starting_point: StartingPoint
+    n_first_stage: int
+    n_chains: int
+    n_gibbs: int
+    proposal_fit: str
+    fit_seconds: float = 0.0
+    extras: Dict[str, object] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def method(self) -> str:
+        return LABELS[self.coordinate_system]
+
+    def lean(self) -> "FirstStageArtifact":
+        """A copy without the chain sample tensor, for compact persistence.
+
+        Keeps the proposal, the starting point and the scalar diagnostics
+        — everything reuse needs — and drops the raw chain, which can be
+        megabytes for long multi-chain runs and is only needed for
+        trajectory plots.
+        """
+        extras = {
+            key: value for key, value in self.extras.items() if key != "chain"
+        }
+        return replace(self, extras=extras)
+
+    def validate(self, coordinate_system: str) -> None:
+        """Fail loudly on schema or coordinate-system mismatch."""
+        if self.schema_version != SCHEMA_VERSION:
+            raise ValueError(
+                f"first-stage artifact has schema_version "
+                f"{self.schema_version}, this build persists "
+                f"{SCHEMA_VERSION}; refusing to reuse a foreign format "
+                f"(rebuild the artifact or clear the cache)"
+            )
+        if self.coordinate_system != coordinate_system:
+            raise ValueError(
+                f"first-stage artifact was fitted in "
+                f"{self.coordinate_system!r} coordinates but the flow "
+                f"requested {coordinate_system!r}"
+            )
 
 
 def _spread_starting_points(
@@ -201,6 +284,141 @@ def run_first_stage(
     return merge_chain_shards(results, n_chains)
 
 
+def _build_first_stage(
+    counted: CountedMetric,
+    spec: FailureSpec,
+    dimension: int,
+    rng: np.random.Generator,
+    pool: Optional[ParallelExecutor],
+    coordinate_system: str,
+    n_gibbs: int,
+    n_chains: int,
+    chain_jitter: float,
+    start: Optional[StartingPoint],
+    doe_budget: Optional[int],
+    surrogate_order: str,
+    epsilon: float,
+    zeta: float,
+    bisect_iters: int,
+    proposal_fit: str,
+    mixture_components: int,
+    chain_group_size: Optional[int],
+    stage1_start: int,
+) -> FirstStageArtifact:
+    """Run the complete first stage and package it as a reusable artifact.
+
+    This is the one implementation of Algorithm 5 steps 1-4, shared by the
+    full flow and the standalone :func:`fit_first_stage` extraction path,
+    so the two consume the ``rng`` stream identically draw for draw.
+    ``stage1_start`` is the caller's pre-stage checkpoint of ``counted``
+    (taken before any adaptive probe, so probe simulations are charged to
+    the first stage exactly as before).
+    """
+    t0 = time.perf_counter()
+    # The span covers everything the paper charges to stage 1: the
+    # starting-point search, the chains, the proposal fit and the
+    # mixing diagnostics.  Its ``sims`` counter is the same
+    # checkpoint delta the result reports as ``n_first_stage``.
+    with _telemetry.span(
+        "gibbs.first_stage",
+        coordinate_system=coordinate_system,
+        n_chains=int(n_chains),
+        n_gibbs=int(n_gibbs),
+    ) as stage_span:
+        if start is None:
+            start = find_starting_point(
+                counted, spec, dimension, rng,
+                doe_budget=doe_budget, order=surrogate_order,
+                epsilon=epsilon, zeta=zeta,
+            )
+
+        if n_chains == 1:
+            if coordinate_system == "cartesian":
+                sampler = CartesianGibbs(
+                    counted, spec, dimension, zeta=zeta,
+                    bisect_iters=bisect_iters,
+                )
+                chain = sampler.run(start.x, n_gibbs, rng)
+            else:
+                sampler = SphericalGibbs(
+                    counted, spec, dimension, zeta=zeta,
+                    bisect_iters=bisect_iters,
+                )
+                chain = sampler.run(start.r, start.alpha, n_gibbs, rng)
+        else:
+            starts_x = _spread_starting_points(
+                counted, spec, start, n_chains, rng, zeta, chain_jitter
+            )
+            if pool is not None:
+                chain = run_first_stage(
+                    counted, spec, starts_x, n_gibbs, pool,
+                    coordinate_system=coordinate_system,
+                    seed=rng,
+                    chain_group_size=chain_group_size,
+                    zeta=zeta, bisect_iters=bisect_iters, epsilon=epsilon,
+                )
+            elif coordinate_system == "cartesian":
+                sampler = CartesianGibbs(
+                    counted, spec, dimension, zeta=zeta,
+                    bisect_iters=bisect_iters,
+                )
+                chain = sampler.run_lockstep(
+                    starts_x, n_gibbs, rng, verify_start=False
+                )
+            else:
+                sampler = SphericalGibbs(
+                    counted, spec, dimension, zeta=zeta,
+                    bisect_iters=bisect_iters,
+                )
+                spherical = [
+                    initial_spherical_coordinates(point, epsilon)
+                    for point in starts_x
+                ]
+                chain = sampler.run_lockstep(
+                    np.array([r for r, _ in spherical]),
+                    np.vstack([alpha for _, alpha in spherical]),
+                    n_gibbs,
+                    rng,
+                    verify_start=False,
+                )
+
+        fit_samples = (
+            chain.samples if n_chains == 1 else chain.pooled_samples
+        )
+        if proposal_fit == "normal":
+            proposal = MultivariateNormal.fit(fit_samples)
+        elif proposal_fit == "mixture":
+            proposal = GaussianMixture.fit(
+                fit_samples, n_components=mixture_components, rng=rng
+            )
+        else:
+            raise ValueError(
+                f"proposal_fit must be 'normal' or 'mixture', "
+                f"got {proposal_fit!r}"
+            )
+
+        extras = {"chain": chain, "starting_point": start}
+        # Split R-hat needs at least 4 samples per chain; for shorter
+        # (toy) runs the estimate is still valid, only the diagnostics
+        # are skipped.
+        if n_chains > 1 and n_gibbs >= 4:
+            extras["chain_diagnostics"] = diagnose_chains(chain)
+
+        n_first_stage = counted.checkpoint() - stage1_start
+        stage_span.add("sims", n_first_stage)
+    return FirstStageArtifact(
+        coordinate_system=coordinate_system,
+        proposal=proposal,
+        starting_point=start,
+        n_first_stage=int(n_first_stage),
+        n_chains=int(n_chains),
+        n_gibbs=int(n_gibbs),
+        proposal_fit=proposal_fit,
+        fit_seconds=time.perf_counter() - t0,
+        extras=extras,
+    )
+
+
 def gibbs_importance_sampling(
     metric: Callable,
     spec: FailureSpec,
@@ -225,6 +443,8 @@ def gibbs_importance_sampling(
     backend: str = "process",
     chain_group_size: Union[None, int, str] = None,
     shard_size: Union[int, str] = 8192,
+    first_stage: Optional[FirstStageArtifact] = None,
+    executor: Optional[ParallelExecutor] = None,
 ) -> EstimationResult:
     """Run the full G-C / G-S failure-rate prediction flow.
 
@@ -283,6 +503,17 @@ def gibbs_importance_sampling(
         from the same probe.  Unlike the chain grouping, this value *does*
         select which stream draws which sample, so an adaptive choice is
         recorded in ``extras["adaptive_sharding"]`` for bit-exact replays.
+    first_stage:
+        Inject a prebuilt :class:`FirstStageArtifact` (from
+        :func:`fit_first_stage` or a previous run's extraction) instead of
+        running the first stage: the flow then performs **zero**
+        first-stage metric evaluations, reports ``n_first_stage=0`` (the
+        artifact's build cost was paid by whoever built it), and draws the
+        second stage from the artifact's stored proposal.  The artifact's
+        schema version and coordinate system are validated loudly.
+    executor:
+        Prebuilt :class:`~repro.parallel.ParallelExecutor` (e.g. the yield
+        service's persistent pool); overrides ``n_workers``/``backend``.
 
     Returns
     -------
@@ -298,12 +529,14 @@ def gibbs_importance_sampling(
         )
     if n_chains < 1:
         raise ValueError(f"n_chains must be positive, got {n_chains}")
+    if first_stage is not None:
+        first_stage.validate(coordinate_system)
     rng = ensure_rng(rng)
     counted = metric if isinstance(metric, CountedMetric) else CountedMetric(
         metric, dimension
     )
     dimension = counted.dimension
-    pool = resolve_executor(None, n_workers, backend)
+    pool = resolve_executor(executor, n_workers, backend)
 
     adaptive_requested = "adaptive" in (chain_group_size, shard_size)
     if adaptive_requested and pool is None:
@@ -331,112 +564,46 @@ def gibbs_importance_sampling(
             )
             adaptive_record["shard_size"] = int(shard_size)
 
+    if qmc_second_stage and proposal_fit != "normal":
+        raise ValueError(
+            "qmc_second_stage is only supported with proposal_fit='normal'"
+        )
+
     # One persistent pool serves starting-point-free first-stage fan-out
     # and the sharded second stage; inline/serial executors make this a
     # no-op (see ParallelExecutor.__enter__).
     with pool if pool is not None else contextlib.nullcontext():
-        # The span covers everything the paper charges to stage 1: the
-        # starting-point search, the chains, the proposal fit and the
-        # mixing diagnostics.  Its ``sims`` counter is the same
-        # checkpoint delta the result reports as ``n_first_stage``.
-        with _telemetry.span(
-            "gibbs.first_stage",
-            coordinate_system=coordinate_system,
-            n_chains=int(n_chains),
-            n_gibbs=int(n_gibbs),
-        ) as stage_span:
-            if start is None:
-                start = find_starting_point(
-                    counted, spec, dimension, rng,
-                    doe_budget=doe_budget, order=surrogate_order,
-                    epsilon=epsilon, zeta=zeta,
-                )
-
-            if n_chains == 1:
-                if coordinate_system == "cartesian":
-                    sampler = CartesianGibbs(
-                        counted, spec, dimension, zeta=zeta,
-                        bisect_iters=bisect_iters,
-                    )
-                    chain = sampler.run(start.x, n_gibbs, rng)
-                else:
-                    sampler = SphericalGibbs(
-                        counted, spec, dimension, zeta=zeta,
-                        bisect_iters=bisect_iters,
-                    )
-                    chain = sampler.run(start.r, start.alpha, n_gibbs, rng)
-            else:
-                starts_x = _spread_starting_points(
-                    counted, spec, start, n_chains, rng, zeta, chain_jitter
-                )
-                if pool is not None:
-                    chain = run_first_stage(
-                        counted, spec, starts_x, n_gibbs, pool,
-                        coordinate_system=coordinate_system,
-                        seed=rng,
-                        chain_group_size=chain_group_size,
-                        zeta=zeta, bisect_iters=bisect_iters, epsilon=epsilon,
-                    )
-                elif coordinate_system == "cartesian":
-                    sampler = CartesianGibbs(
-                        counted, spec, dimension, zeta=zeta,
-                        bisect_iters=bisect_iters,
-                    )
-                    chain = sampler.run_lockstep(
-                        starts_x, n_gibbs, rng, verify_start=False
-                    )
-                else:
-                    sampler = SphericalGibbs(
-                        counted, spec, dimension, zeta=zeta,
-                        bisect_iters=bisect_iters,
-                    )
-                    spherical = [
-                        initial_spherical_coordinates(point, epsilon)
-                        for point in starts_x
-                    ]
-                    chain = sampler.run_lockstep(
-                        np.array([r for r, _ in spherical]),
-                        np.vstack([alpha for _, alpha in spherical]),
-                        n_gibbs,
-                        rng,
-                        verify_start=False,
-                    )
-
-            fit_samples = (
-                chain.samples if n_chains == 1 else chain.pooled_samples
-            )
-            if proposal_fit == "normal":
-                proposal = MultivariateNormal.fit(fit_samples)
-                if qmc_second_stage:
-                    proposal = QMCNormal(
-                        proposal, seed=int(rng.integers(0, 2**31 - 1))
-                    )
-            elif proposal_fit == "mixture":
-                if qmc_second_stage:
-                    raise ValueError(
-                        "qmc_second_stage is only supported with "
-                        "proposal_fit='normal'"
-                    )
-                proposal = GaussianMixture.fit(
-                    fit_samples, n_components=mixture_components, rng=rng
-                )
-            else:
-                raise ValueError(
-                    f"proposal_fit must be 'normal' or 'mixture', "
-                    f"got {proposal_fit!r}"
-                )
-
-            extras = {"chain": chain, "starting_point": start}
-            if adaptive_record is not None:
-                extras["adaptive_sharding"] = adaptive_record
-            # Split R-hat needs at least 4 samples per chain; for shorter
-            # (toy) runs the estimate is still valid, only the diagnostics
-            # are skipped.
-            if n_chains > 1 and n_gibbs >= 4:
-                extras["chain_diagnostics"] = diagnose_chains(chain)
-
+        if first_stage is not None:
+            proposal = first_stage.proposal
+            extras = dict(first_stage.extras)
+            extras["starting_point"] = first_stage.starting_point
+            extras["first_stage_reused"] = True
+            # Nothing ran: the only simulations since the checkpoint are
+            # an adaptive probe's, if one was requested — charge those
+            # honestly; a plain reuse reports exactly zero.
             n_first_stage = counted.checkpoint() - stage1_start
-            stage_span.add("sims", n_first_stage)
+        else:
+            artifact = _build_first_stage(
+                counted, spec, dimension, rng, pool,
+                coordinate_system=coordinate_system,
+                n_gibbs=n_gibbs, n_chains=n_chains,
+                chain_jitter=chain_jitter, start=start,
+                doe_budget=doe_budget, surrogate_order=surrogate_order,
+                epsilon=epsilon, zeta=zeta, bisect_iters=bisect_iters,
+                proposal_fit=proposal_fit,
+                mixture_components=mixture_components,
+                chain_group_size=chain_group_size,
+                stage1_start=stage1_start,
+            )
+            proposal = artifact.proposal
+            extras = artifact.extras
+            n_first_stage = artifact.n_first_stage
+        if qmc_second_stage:
+            proposal = QMCNormal(
+                proposal, seed=int(rng.integers(0, 2**31 - 1))
+            )
+        if adaptive_record is not None:
+            extras["adaptive_sharding"] = adaptive_record
         return importance_sampling_estimate(
             counted,
             spec,
@@ -449,4 +616,69 @@ def gibbs_importance_sampling(
             extras=extras,
             executor=pool,
             shard_size=int(shard_size),
+        )
+
+
+def fit_first_stage(
+    metric: Callable,
+    spec: FailureSpec,
+    dimension: Optional[int] = None,
+    coordinate_system: str = "spherical",
+    n_gibbs: int = 400,
+    n_chains: int = 1,
+    chain_jitter: float = 0.25,
+    rng: SeedLike = None,
+    start: Optional[StartingPoint] = None,
+    doe_budget: Optional[int] = None,
+    surrogate_order: str = "quadratic",
+    epsilon: float = 1e-2,
+    zeta: float = 8.0,
+    bisect_iters: int = 5,
+    proposal_fit: str = "normal",
+    mixture_components: int = 3,
+    n_workers: Optional[int] = None,
+    backend: str = "process",
+    chain_group_size: Optional[int] = None,
+    executor: Optional[ParallelExecutor] = None,
+) -> FirstStageArtifact:
+    """Run only the expensive first stage and return its reusable artifact.
+
+    The extraction half of the artifact seam: everything
+    :func:`gibbs_importance_sampling` would charge to stage 1 — the
+    starting-point search, the Gibbs chain(s), the ``g_nor`` fit — runs
+    here with the identical draw order, and comes back as a
+    :class:`FirstStageArtifact` ready for persistence and injection.
+    The yield service's proposal cache stores exactly this object (in
+    ``lean()`` form), so a repeat query pays none of it again.
+
+    Parameters mirror :func:`gibbs_importance_sampling`'s first-stage
+    subset; ``executor`` reuses a caller-owned worker pool (the service
+    keeps one persistent pool across all jobs).
+    """
+    if coordinate_system not in LABELS:
+        raise ValueError(
+            f"coordinate_system must be 'cartesian' or 'spherical', "
+            f"got {coordinate_system!r}"
+        )
+    if n_chains < 1:
+        raise ValueError(f"n_chains must be positive, got {n_chains}")
+    rng = ensure_rng(rng)
+    counted = metric if isinstance(metric, CountedMetric) else CountedMetric(
+        metric, dimension
+    )
+    dimension = counted.dimension
+    pool = resolve_executor(executor, n_workers, backend)
+    stage1_start = counted.checkpoint()
+    with pool if pool is not None else contextlib.nullcontext():
+        return _build_first_stage(
+            counted, spec, dimension, rng, pool,
+            coordinate_system=coordinate_system,
+            n_gibbs=n_gibbs, n_chains=n_chains,
+            chain_jitter=chain_jitter, start=start,
+            doe_budget=doe_budget, surrogate_order=surrogate_order,
+            epsilon=epsilon, zeta=zeta, bisect_iters=bisect_iters,
+            proposal_fit=proposal_fit,
+            mixture_components=mixture_components,
+            chain_group_size=chain_group_size,
+            stage1_start=stage1_start,
         )

@@ -20,9 +20,16 @@ from repro.mc.diagnostics import (
 from repro.mc.importance import importance_sampling_estimate
 from repro.mc.indicator import FailureSpec
 from repro.mc.montecarlo import brute_force_monte_carlo
-from repro.mc.results import ConvergenceTrace, EstimationResult
+from repro.mc.results import (
+    SCHEMA_VERSION,
+    ConvergenceTrace,
+    EstimationResult,
+    content_key,
+)
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "content_key",
     "FailureSpec",
     "CountedMetric",
     "EstimationResult",

@@ -5,10 +5,27 @@ function of the number of second-stage simulations — the raw material of
 the paper's Figs. 6, 7 and 12.  An :class:`EstimationResult` bundles one
 method's final numbers with its trace and simulation accounting — one row
 of Tables I and II.
+
+Results are also the unit of *persistence*: the yield-estimation service
+(:mod:`repro.service`) pickles results and first-stage artifacts into a
+disk cache keyed by :func:`content_key`, so this module owns the two
+format-stability primitives:
+
+* :data:`SCHEMA_VERSION` / ``EstimationResult.schema_version`` — bumped on
+  any incompatible change to the persisted result/artifact layout, so a
+  cache written by one format never silently mis-deserialises under
+  another (loaders compare versions and fail loudly);
+* :func:`content_key` — a canonical content hash over JSON-able identity
+  fields (problem id, spec, corner, seed, estimator config, ...) that is
+  stable under dict ordering, int/float equivalence, tuple/list spelling
+  and numpy scalar types, so the same logical job always maps to the same
+  cache entry.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -16,6 +33,66 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.stats.confidence import Z_99
+
+#: Version of the persisted result/artifact format.  Bump on any change
+#: that would make previously pickled cache entries unsafe to reuse
+#: (renamed fields, different weight semantics, new trace layout, ...).
+SCHEMA_VERSION = 1
+
+
+def _canonicalize(value):
+    """Reduce ``value`` to a canonical JSON-able form for hashing.
+
+    Mappings sort by key, sequences become lists, numpy scalars and 0-d
+    arrays collapse to their Python equivalents, and integral floats
+    collapse to ints — so ``{"a": 1, "b": 2}`` and ``{"b": 2.0, "a": 1}``
+    hash identically while genuinely different values never do.
+    """
+    if isinstance(value, dict):
+        return {
+            str(key): _canonicalize(value[key])
+            for key in sorted(value, key=str)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(item) for item in value]
+    if isinstance(value, np.ndarray):
+        if value.ndim == 0:
+            return _canonicalize(value.item())
+        return [_canonicalize(item) for item in value.tolist()]
+    if isinstance(value, (np.bool_, bool)):
+        return bool(value)
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        value = float(value)
+        if math.isfinite(value) and value == int(value):
+            return int(value)
+        return value
+    if value is None or isinstance(value, str):
+        return value
+    raise TypeError(
+        f"content_key fields must be JSON-able scalars/lists/dicts, got "
+        f"{type(value).__name__}: {value!r}"
+    )
+
+
+def content_key(**fields) -> str:
+    """Stable content hash of keyword identity fields.
+
+    The key is the SHA-256 hex digest of the canonical JSON encoding of
+    ``fields`` (sorted keys, normalised scalar types — see
+    ``_canonicalize``), prefixed with the schema version so a format bump
+    retires every old key at once.  Keyword order never matters;
+    every *value* difference (seed, corner, threshold, estimator knob)
+    yields a different key.
+    """
+    canonical = _canonicalize(dict(fields))
+    payload = json.dumps(
+        {"schema": SCHEMA_VERSION, "fields": canonical},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -106,6 +183,10 @@ class EstimationResult:
     extras:
         Method-specific artefacts (second-stage samples for scatter plots,
         the fitted proposal, chain diagnostics, ...).
+    schema_version:
+        Persisted-format version stamped at construction time
+        (:data:`SCHEMA_VERSION`).  Cache loaders compare it against their
+        own and refuse mismatches loudly instead of mis-deserialising.
     """
 
     method: str
@@ -115,6 +196,7 @@ class EstimationResult:
     n_second_stage: int
     trace: Optional[ConvergenceTrace] = None
     extras: Dict[str, object] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
 
     @property
     def n_total(self) -> int:

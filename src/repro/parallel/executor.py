@@ -86,6 +86,7 @@ class ParallelExecutor:
         self.backend = backend
         self.mp_context = mp_context
         self._pool = None
+        self._depth = 0
 
     @property
     def runs_inline(self) -> bool:
@@ -111,9 +112,16 @@ class ParallelExecutor:
         pool — correct, but a multi-stage flow (first-stage chain groups,
         then second-stage shards) then pays worker startup per stage.
         Inside the block the pool is created once, ``map`` reuses it, and
-        ``__exit__`` shuts it down.  Inline execution has no pool; the
-        context manager is then a no-op.
+        the outermost ``__exit__`` shuts it down.  Inline execution has no
+        pool; the context manager is then a no-op.
+
+        The context is **reentrant**: a caller that owns a long-lived pool
+        (the yield service keeps one across every job) can hand the
+        executor to flows that themselves do ``with pool:`` — inner blocks
+        only bump a depth counter, and the pool survives until the
+        owner's outermost exit.
         """
+        self._depth += 1
         if self._pool is None and not self.runs_inline:
             if self.backend == "thread":
                 self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
@@ -124,9 +132,32 @@ class ParallelExecutor:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        self._depth = max(self._depth - 1, 0)
+        if self._depth == 0:
+            self._shutdown(cancel=exc_type is not None)
+
+    def _shutdown(self, cancel: bool = False) -> None:
+        """Tear the persistent pool down (idempotent).
+
+        ``cancel`` drops queued-but-unstarted tasks instead of draining
+        them — the right call when unwinding from an exception or a
+        SIGINT, where waiting on a queue of doomed shards can hang the
+        interpreter's exit for minutes.
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=True, cancel_futures=cancel)
             self._pool = None
+
+    def close(self) -> None:
+        """Force the persistent pool down regardless of context depth.
+
+        Interrupt/timeout teardown paths (the CLI's SIGINT handler, the
+        yield service's shutdown) call this directly: pending tasks are
+        cancelled, worker processes join, and the executor can be
+        re-entered later if needed.
+        """
+        self._depth = 0
+        self._shutdown(cancel=True)
 
     def map(self, fn: Callable, tasks: Sequence) -> List:
         """Apply a top-level function to every task; results stay ordered.

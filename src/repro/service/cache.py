@@ -1,0 +1,221 @@
+"""Disk-backed proposal/artifact cache with a JSON index.
+
+One entry per logical job (see :func:`repro.service.keys.job_key`):
+the lean first-stage artifact (fitted ``g_nor`` proposal + verified
+starting point), the mergeable second-stage weight record, and the final
+:class:`~repro.mc.results.EstimationResult`.  The human-auditable JSON
+index carries per-entry metadata (problem, method, seed, sample counts,
+hit tallies); the numeric payloads live in one pickle file per entry.
+
+Format safety is loud, never silent: every persisted object is stamped
+with :data:`repro.mc.results.SCHEMA_VERSION`, and any mismatch — index
+written by a different format, unpicklable or version-skewed entry —
+raises :class:`CacheSchemaError` naming the offending file instead of
+mis-deserialising.  Writes are atomic (tmp file + ``os.replace``) and
+the cache is thread-safe, since scheduler workers share one instance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.mc.results import SCHEMA_VERSION, EstimationResult
+
+
+class CacheSchemaError(RuntimeError):
+    """A persisted cache object does not match this build's format."""
+
+
+@dataclass
+class CacheEntry:
+    """Everything persisted for one logical job.
+
+    Attributes
+    ----------
+    key:
+        The entry's content key (see :func:`repro.service.keys.job_key`).
+    config:
+        The canonical identity fields the key was hashed from — stored
+        for human audit, so an index entry can be traced back to a
+        request without reversing the hash.
+    result:
+        The final estimate at ``second_stage["n_samples"]`` (or the
+        stored budget, for non-Gibbs methods).
+    artifact:
+        Lean first-stage artifact (Gibbs methods only): the fitted
+        proposal and verified starting point a warm run re-uses with
+        zero first-stage simulations.
+    second_stage:
+        Mergeable weight record — ``{"shard_size", "n_samples",
+        "weights", "n_failures"}`` — the refinement path extends
+        shard-by-shard (Gibbs methods only).
+    """
+
+    key: str
+    config: dict
+    result: EstimationResult
+    artifact: Optional[object] = None
+    second_stage: Optional[dict] = None
+    schema_version: int = field(default=SCHEMA_VERSION)
+
+
+class ArtifactCache:
+    """Thread-safe disk cache: ``index.json`` plus one pickle per entry."""
+
+    INDEX_NAME = "index.json"
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        #: Process-lifetime counters (persisted tallies live in the index).
+        self.hits = 0
+        self.misses = 0
+        self.refinements = 0
+        self._index = self._load_index()
+
+    # ------------------------------------------------------------ files
+    @property
+    def index_path(self) -> Path:
+        return self.root / self.INDEX_NAME
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def _load_index(self) -> Dict[str, dict]:
+        if not self.index_path.exists():
+            return {}
+        try:
+            payload = json.loads(self.index_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CacheSchemaError(
+                f"cache index {self.index_path} is unreadable: {exc}; "
+                f"delete the cache directory to rebuild"
+            ) from exc
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise CacheSchemaError(
+                f"cache index {self.index_path} has schema_version "
+                f"{version!r}, this build persists {SCHEMA_VERSION}; "
+                f"refusing to reuse a foreign format (delete the cache "
+                f"directory to rebuild)"
+            )
+        return payload.get("entries", {})
+
+    def _write_index(self) -> None:
+        payload = {"schema_version": SCHEMA_VERSION, "entries": self._index}
+        self._atomic_write(
+            self.index_path, json.dumps(payload, indent=1, sort_keys=True)
+        )
+
+    @staticmethod
+    def _atomic_write(path: Path, data) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        if isinstance(data, bytes):
+            tmp.write_bytes(data)
+        else:
+            tmp.write_text(data)
+        os.replace(tmp, path)
+
+    # -------------------------------------------------------------- api
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """Load an entry, or ``None`` on a miss.  Mismatched formats raise."""
+        with self._lock:
+            meta = self._index.get(key)
+            if meta is None:
+                self.misses += 1
+                return None
+            path = self._entry_path(key)
+            try:
+                with open(path, "rb") as handle:
+                    entry = pickle.load(handle)
+            except FileNotFoundError:
+                # Index/payload drift (e.g. a crashed put): treat as a
+                # miss and drop the dangling row.
+                del self._index[key]
+                self._write_index()
+                self.misses += 1
+                return None
+            except Exception as exc:
+                raise CacheSchemaError(
+                    f"cache entry {path} failed to deserialise ({exc}); "
+                    f"it was likely written by a different format — "
+                    f"delete it (or the cache directory) to rebuild"
+                ) from exc
+            if (
+                not isinstance(entry, CacheEntry)
+                or entry.schema_version != SCHEMA_VERSION
+                or entry.result.schema_version != SCHEMA_VERSION
+            ):
+                found = getattr(entry, "schema_version", None)
+                raise CacheSchemaError(
+                    f"cache entry {path} has schema_version {found!r}, "
+                    f"this build persists {SCHEMA_VERSION}; refusing to "
+                    f"reuse a foreign format (delete it to rebuild)"
+                )
+            self.hits += 1
+            meta["hits"] = int(meta.get("hits", 0)) + 1
+            meta["last_hit_at"] = time.time()
+            self._write_index()
+            return entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        """Persist an entry atomically and index it."""
+        with self._lock:
+            path = self._entry_path(key)
+            self._atomic_write(
+                path, pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            existing = self._index.get(key, {})
+            result = entry.result
+            self._index[key] = {
+                "problem": entry.config.get("problem"),
+                "method": entry.config.get("method"),
+                "corner": entry.config.get("corner"),
+                "seed": entry.config.get("seed"),
+                "n_second_stage": int(result.n_second_stage),
+                "n_first_stage_paid": int(
+                    getattr(entry.artifact, "n_first_stage", result.n_first_stage)
+                ),
+                "file": path.name,
+                "created_at": existing.get("created_at", time.time()),
+                "updated_at": time.time(),
+                "hits": int(existing.get("hits", 0)),
+                "refinements": int(existing.get("refinements", 0)),
+            }
+            self._write_index()
+
+    def note_refinement(self, key: str) -> None:
+        """Tally a shard-extension refinement against an entry."""
+        with self._lock:
+            self.refinements += 1
+            meta = self._index.get(key)
+            if meta is not None:
+                meta["refinements"] = int(meta.get("refinements", 0)) + 1
+                self._write_index()
+
+    def stats(self) -> dict:
+        """Process-lifetime counters plus the persistent entry count."""
+        with self._lock:
+            return {
+                "root": str(self.root),
+                "entries": len(self._index),
+                "hits": self.hits,
+                "misses": self.misses,
+                "refinements": self.refinements,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._index

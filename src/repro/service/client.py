@@ -1,0 +1,101 @@
+"""Thin urllib client for the service API (no extra dependencies).
+
+Used by ``repro submit`` / ``repro jobs`` and by tests; any HTTP-capable
+tool works equally well — the API is plain JSON (see
+:mod:`repro.service.server` for the route table).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+
+class ServiceError(RuntimeError):
+    """An API call failed; carries the HTTP status and server message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` instance."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8642", timeout: float = 30.0):
+        self.base = url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(
+            self.base + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
+                return json.loads(response.read() or b"{}")
+        except HTTPError as exc:
+            try:
+                detail = json.loads(exc.read() or b"{}")
+            except ValueError:
+                detail = {}
+            message = detail.get("error") or detail or exc.reason
+            raise ServiceError(exc.code, str(message)) from None
+        except URLError as exc:
+            raise ServiceError(
+                0, f"cannot reach {self.base}: {exc.reason}"
+            ) from None
+
+    # --------------------------------------------------------------- api
+    def health(self) -> dict:
+        return self._call("GET", "/health")
+
+    def submit(self, request: dict) -> str:
+        """Submit one job; returns its id."""
+        return self._call("POST", "/jobs", request)["id"]
+
+    def submit_batch(self, requests: List[dict]) -> List[str]:
+        """Submit a batch of jobs; returns their ids, in order."""
+        return self._call("POST", "/jobs", {"jobs": list(requests)})["ids"]
+
+    def jobs(self) -> List[dict]:
+        return self._call("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._call("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str, wait: Optional[float] = None) -> dict:
+        """Fetch a finished job's result + manifest.
+
+        ``wait`` blocks server-side up to that many seconds; a job still
+        pending after the wait raises :class:`ServiceError` with status
+        409 (poll again), a failed/cancelled one with 410.
+        """
+        suffix = f"?wait={wait:g}" if wait else ""
+        # The socket timeout must outlive the server-side long poll, or a
+        # slow cold job kills the client while the server still holds the
+        # request open.
+        timeout = self.timeout + wait if wait else None
+        return self._call(
+            "GET", f"/jobs/{job_id}/result{suffix}", timeout=timeout
+        )
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(
+            self._call("POST", f"/jobs/{job_id}/cancel").get("cancelled")
+        )

@@ -1,0 +1,140 @@
+"""Regression tests for interrupted-exit teardown.
+
+The contract: however a run ends — clean return, exception, SIGINT,
+per-job timeout — every worker pool is torn down (queued work cancelled,
+workers joined) and the CLI exits with the conventional SIGINT status
+instead of a traceback.  These tests pin the three layers of that
+contract: :class:`ParallelExecutor` context/close semantics, the yield
+service's shutdown, and the CLI's exit code.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import cli
+from repro.parallel import ParallelExecutor
+from repro.service import JobRequest, YieldService
+
+
+def _identity(x):
+    return x
+
+
+class TestExecutorTeardown:
+    def test_clean_exit_closes_pool(self):
+        executor = ParallelExecutor(n_workers=2, backend="thread")
+        with executor:
+            assert executor._pool is not None
+        assert executor._pool is None
+
+    def test_exception_exit_closes_pool(self):
+        executor = ParallelExecutor(n_workers=2, backend="thread")
+        with pytest.raises(RuntimeError, match="boom"):
+            with executor:
+                raise RuntimeError("boom")
+        assert executor._pool is None
+
+    def test_reentrant_context_keeps_pool_until_outermost_exit(self):
+        executor = ParallelExecutor(n_workers=2, backend="thread")
+        with executor:
+            pool = executor._pool
+            with executor:  # inner flow borrows the owner's pool
+                assert executor._pool is pool
+            assert executor._pool is pool, "inner exit must not tear down"
+        assert executor._pool is None
+
+    def test_close_forces_teardown_through_any_depth(self):
+        executor = ParallelExecutor(n_workers=2, backend="thread")
+        executor.__enter__()
+        executor.__enter__()
+        executor.close()
+        assert executor._pool is None and executor._depth == 0
+
+    def test_close_is_idempotent_and_reenterable(self):
+        executor = ParallelExecutor(n_workers=2, backend="thread")
+        executor.close()
+        executor.close()
+        with executor:
+            assert executor.map(_identity, [1, 2, 3]) == [1, 2, 3]
+        assert executor._pool is None
+
+    def test_inline_executor_has_no_pool_to_leak(self):
+        executor = ParallelExecutor(n_workers=1, backend="process")
+        with executor:
+            assert executor._pool is None
+
+
+class TestServiceTeardown:
+    def test_close_cancels_a_running_job(self, tmp_path):
+        # A wide shard grid gives the cooperative abort many boundaries
+        # to fire at; close() must not wait for the whole budget.
+        svc = YieldService(cache_dir=tmp_path)
+        job = svc.submit(JobRequest(
+            problem="iread", method="G-S", seed=31,
+            n_gibbs=30, doe_budget=50,
+            n_second_stage=200_000, shard_size=64,
+        ))
+        time.sleep(0.3)  # let the job get going
+        svc.close()
+        # close() returned, so the job thread has finished — either the
+        # cooperative abort fired (the expected path) or the job somehow
+        # beat the clock; it must not be left running.
+        assert job.state in ("cancelled", "done")
+        if job.state == "cancelled":
+            assert "cancelled" in job.error
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.submit(JobRequest())
+
+    def test_serve_forever_always_closes_the_service(
+        self, tmp_path, monkeypatch
+    ):
+        # server.shutdown() from another thread makes serve_forever
+        # return; its finally block must close the service either way.
+        import repro.service.server as server_mod
+
+        svc = YieldService(cache_dir=tmp_path)
+        captured = {}
+        real_make_server = server_mod.make_server
+
+        def capturing_make_server(service, host, port):
+            captured["server"] = real_make_server(service, host, port)
+            return captured["server"]
+
+        monkeypatch.setattr(server_mod, "make_server", capturing_make_server)
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=server_mod.serve_forever,
+            args=(svc,),
+            kwargs={"port": 0, "ready": ready},
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(timeout=10)
+        captured["server"].shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.submit(JobRequest())
+
+    def test_double_close_is_safe(self, tmp_path):
+        svc = YieldService(cache_dir=tmp_path)
+        svc.close()
+        svc.close()
+
+
+class TestCliInterruptExit:
+    def test_keyboard_interrupt_exits_130(self, monkeypatch):
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_cmd_jobs", interrupted)
+        assert cli.main(["jobs"]) == 130
+
+    def test_interrupt_during_serve_exits_130(self, monkeypatch, tmp_path):
+        def interrupted_serve(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_cmd_serve", interrupted_serve)
+        assert cli.main(["serve", "--cache-dir", str(tmp_path)]) == 130

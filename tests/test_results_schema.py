@@ -1,0 +1,121 @@
+"""Tests for the persisted-format primitives in repro.mc.results.
+
+The cache's correctness rests on two properties of :func:`content_key`:
+*canonicalization* (spelling differences that cannot change the sampled
+numbers — kwarg order, ``2`` vs ``2.0``, tuple vs list, numpy scalar
+types — hash identically) and *separation* (any genuine value difference
+— seed, corner, threshold, estimator knob — never collides).  Plus the
+loud-failure contract: non-JSON-able fields raise instead of hashing
+``repr`` strings, and every :class:`EstimationResult` carries the format
+version it was built under.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mc.results import SCHEMA_VERSION, EstimationResult, content_key
+
+
+class TestContentKeyCanonicalization:
+    def test_kwarg_order_is_irrelevant(self):
+        assert content_key(a=1, b="x", c=None) == content_key(c=None, b="x", a=1)
+
+    def test_integral_float_equals_int(self):
+        assert content_key(n=2) == content_key(n=2.0)
+
+    def test_nonintegral_float_differs_from_int(self):
+        assert content_key(n=2) != content_key(n=2.5)
+
+    def test_numpy_scalars_equal_python_scalars(self):
+        assert content_key(seed=np.int64(7)) == content_key(seed=7)
+        assert content_key(s=np.float64(0.03)) == content_key(s=0.03)
+        assert content_key(flag=np.True_) == content_key(flag=True)
+
+    def test_tuple_equals_list(self):
+        assert content_key(shape=(3, 4)) == content_key(shape=[3, 4])
+
+    def test_zero_d_array_equals_scalar(self):
+        assert content_key(z=np.array(5)) == content_key(z=5)
+
+    def test_nested_dicts_sort_keys(self):
+        assert (
+            content_key(cfg={"a": 1, "b": {"y": 2, "x": 1}})
+            == content_key(cfg={"b": {"x": 1, "y": 2}, "a": 1})
+        )
+
+    def test_array_equals_list(self):
+        assert content_key(v=np.array([1.0, 2.0])) == content_key(v=[1, 2])
+
+
+class TestContentKeySeparation:
+    BASE = dict(
+        problem="iread", method="G-S", corner="TT", sigma_global=0.03,
+        threshold=None, seed=0, n_gibbs=300, zeta=8.0,
+    )
+
+    @pytest.mark.parametrize("field,value", [
+        ("seed", 1),
+        ("corner", "FF"),
+        ("threshold", 1.2e-5),
+        ("sigma_global", 0.05),
+        ("problem", "rnm"),
+        ("method", "G-C"),
+        ("n_gibbs", 301),
+        ("zeta", 6.0),
+    ])
+    def test_any_value_difference_changes_the_key(self, field, value):
+        changed = dict(self.BASE, **{field: value})
+        assert content_key(**changed) != content_key(**self.BASE)
+
+    def test_none_differs_from_zero_and_empty(self):
+        assert content_key(t=None) != content_key(t=0)
+        assert content_key(t=None) != content_key(t="")
+
+    def test_true_differs_from_one_string(self):
+        # bool canonicalises to JSON true, not to 1's spelling.
+        assert content_key(f=True) != content_key(f="True")
+
+    def test_field_name_matters(self):
+        assert content_key(a=1) != content_key(b=1)
+
+    def test_key_is_hex_sha256(self):
+        key = content_key(**self.BASE)
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+
+class TestContentKeyLoudFailure:
+    def test_non_jsonable_raises_type_error(self):
+        with pytest.raises(TypeError, match="JSON-able"):
+            content_key(rng=np.random.default_rng(0))
+
+    def test_object_inside_container_raises(self):
+        with pytest.raises(TypeError, match="JSON-able"):
+            content_key(cfg={"inner": object()})
+
+    def test_non_finite_floats_are_allowed(self):
+        # inf/nan are legal values (e.g. an unreached threshold) and must
+        # not collide with each other or with large ints.
+        assert content_key(x=float("inf")) != content_key(x=float("-inf"))
+        assert content_key(x=float("nan")) != content_key(x=0)
+
+
+class TestResultSchemaVersion:
+    def _result(self, **overrides):
+        fields = dict(
+            method="G-S", failure_probability=1e-5, relative_error=0.04,
+            n_first_stage=500, n_second_stage=5000,
+        )
+        fields.update(overrides)
+        return EstimationResult(**fields)
+
+    def test_default_version_is_current(self):
+        assert self._result().schema_version == SCHEMA_VERSION
+
+    def test_version_is_persisted_state_not_class_state(self):
+        # A result deserialised from an old cache keeps its own stamp.
+        old = self._result(schema_version=SCHEMA_VERSION - 1)
+        assert old.schema_version == SCHEMA_VERSION - 1
+
+    def test_n_total_accounting(self):
+        assert self._result().n_total == 5500

@@ -1,0 +1,195 @@
+"""Tests for the disk-backed artifact cache (repro.service.cache).
+
+Three contracts: round-trip fidelity (what you put is what you get,
+across instances and processes), loud format failure (schema skew and
+corruption raise :class:`CacheSchemaError` naming the file, never
+mis-deserialise), and crash tolerance (a dangling index row is a miss,
+not an error).
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.mc.results import SCHEMA_VERSION, EstimationResult
+from repro.service.cache import ArtifactCache, CacheEntry, CacheSchemaError
+from repro.service.jobs import JobRequest
+from repro.service.keys import job_key, request_identity
+
+
+def _entry(request: JobRequest, n_samples: int = 64) -> CacheEntry:
+    weights = np.zeros(n_samples)
+    weights[::7] = 1e-5
+    result = EstimationResult(
+        method=request.method,
+        failure_probability=float(weights.mean()),
+        relative_error=0.05,
+        n_first_stage=123,
+        n_second_stage=n_samples,
+    )
+    return CacheEntry(
+        key=job_key(request),
+        config=request_identity(request),
+        result=result,
+        second_stage={
+            "shard_size": 32,
+            "n_samples": n_samples,
+            "weights": weights,
+            "n_failures": int(np.count_nonzero(weights)),
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get("deadbeef") is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        request = JobRequest(seed=3)
+        entry = _entry(request)
+        cache.put(entry.key, entry)
+        loaded = cache.get(entry.key)
+        assert loaded.key == entry.key
+        assert loaded.config == request_identity(request)
+        assert loaded.result.failure_probability == entry.result.failure_probability
+        np.testing.assert_array_equal(
+            loaded.second_stage["weights"], entry.second_stage["weights"]
+        )
+        assert cache.hits == 1
+
+    def test_index_persists_across_instances(self, tmp_path):
+        request = JobRequest(seed=9)
+        entry = _entry(request)
+        ArtifactCache(tmp_path).put(entry.key, entry)
+        reopened = ArtifactCache(tmp_path)
+        assert entry.key in reopened
+        assert len(reopened) == 1
+        assert reopened.get(entry.key).result.n_first_stage == 123
+
+    def test_per_entry_hit_tally_persists(self, tmp_path):
+        entry = _entry(JobRequest(seed=1))
+        cache = ArtifactCache(tmp_path)
+        cache.put(entry.key, entry)
+        cache.get(entry.key)
+        cache.get(entry.key)
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["entries"][entry.key]["hits"] == 2
+
+    def test_refinement_tally(self, tmp_path):
+        entry = _entry(JobRequest(seed=2))
+        cache = ArtifactCache(tmp_path)
+        cache.put(entry.key, entry)
+        cache.note_refinement(entry.key)
+        assert cache.refinements == 1
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["entries"][entry.key]["refinements"] == 1
+
+    def test_put_preserves_created_at_and_tallies(self, tmp_path):
+        entry = _entry(JobRequest(seed=4))
+        cache = ArtifactCache(tmp_path)
+        cache.put(entry.key, entry)
+        cache.get(entry.key)
+        cache.put(entry.key, entry)  # refresh (e.g. after refinement)
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["entries"][entry.key]["hits"] == 1
+
+    def test_stats_shape(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert set(stats) >= {"root", "entries", "hits", "misses", "refinements"}
+
+
+class TestLoudFormatFailure:
+    def test_corrupted_pickle_raises_schema_error(self, tmp_path):
+        entry = _entry(JobRequest(seed=5))
+        cache = ArtifactCache(tmp_path)
+        cache.put(entry.key, entry)
+        (tmp_path / f"{entry.key}.pkl").write_bytes(b"not a pickle at all")
+        with pytest.raises(CacheSchemaError, match="failed to deserialise"):
+            ArtifactCache(tmp_path).get(entry.key)
+
+    def test_foreign_entry_version_raises(self, tmp_path):
+        entry = _entry(JobRequest(seed=6))
+        entry.schema_version = SCHEMA_VERSION + 1
+        cache = ArtifactCache(tmp_path)
+        cache.put(entry.key, entry)
+        with pytest.raises(CacheSchemaError, match="schema_version"):
+            ArtifactCache(tmp_path).get(entry.key)
+
+    def test_foreign_result_version_raises(self, tmp_path):
+        # The entry wrapper may match while the payload inside is old.
+        entry = _entry(JobRequest(seed=7))
+        entry.result.schema_version = SCHEMA_VERSION - 1
+        cache = ArtifactCache(tmp_path)
+        cache.put(entry.key, entry)
+        with pytest.raises(CacheSchemaError, match="schema_version"):
+            ArtifactCache(tmp_path).get(entry.key)
+
+    def test_non_entry_pickle_raises(self, tmp_path):
+        entry = _entry(JobRequest(seed=8))
+        cache = ArtifactCache(tmp_path)
+        cache.put(entry.key, entry)
+        (tmp_path / f"{entry.key}.pkl").write_bytes(
+            pickle.dumps({"i am": "not a CacheEntry"})
+        )
+        with pytest.raises(CacheSchemaError):
+            ArtifactCache(tmp_path).get(entry.key)
+
+    def test_foreign_index_version_raises_on_open(self, tmp_path):
+        (tmp_path / "index.json").write_text(
+            json.dumps({"schema_version": SCHEMA_VERSION + 1, "entries": {}})
+        )
+        with pytest.raises(CacheSchemaError, match="foreign format"):
+            ArtifactCache(tmp_path)
+
+    def test_unreadable_index_raises_on_open(self, tmp_path):
+        (tmp_path / "index.json").write_text("{truncated")
+        with pytest.raises(CacheSchemaError, match="unreadable"):
+            ArtifactCache(tmp_path)
+
+
+class TestCrashTolerance:
+    def test_dangling_index_row_is_a_miss_and_heals(self, tmp_path):
+        entry = _entry(JobRequest(seed=11))
+        cache = ArtifactCache(tmp_path)
+        cache.put(entry.key, entry)
+        (tmp_path / f"{entry.key}.pkl").unlink()
+        reopened = ArtifactCache(tmp_path)
+        assert reopened.get(entry.key) is None
+        assert reopened.misses == 1
+        # The row is dropped, so a fresh instance no longer lists it.
+        assert entry.key not in ArtifactCache(tmp_path)
+
+
+class TestKeyDiscipline:
+    def test_equivalent_spellings_share_an_entry(self, tmp_path):
+        a = JobRequest(seed=2, sigma_global=0.03, corner="tt")
+        b = JobRequest(corner="TT", sigma_global=0.03, seed=2.0)
+        assert job_key(a) == job_key(b)
+
+    def test_serving_knobs_do_not_split_entries(self):
+        a = JobRequest(seed=2, n_second_stage=1000, shard_size=128,
+                       timeout=5.0, use_cache=False)
+        b = JobRequest(seed=2, n_second_stage=9000, shard_size=512)
+        assert job_key(a) == job_key(b)
+
+    @pytest.mark.parametrize("field,value", [
+        ("seed", 3),
+        ("corner", "SS"),
+        ("threshold", 2.0e-5),
+        ("sigma_global", 0.05),
+        ("problem", "rnm"),
+        ("method", "G-C"),
+        ("n_gibbs", 400),
+        ("proposal_fit", "mixture"),
+    ])
+    def test_identity_fields_never_collide(self, field, value):
+        base = JobRequest(seed=2)
+        changed = JobRequest(**{**base.to_dict(), field: value})
+        assert job_key(changed) != job_key(base)
