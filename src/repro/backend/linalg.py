@@ -1,0 +1,114 @@
+"""Specialised batched tiny-matrix solves for the Newton DC solver.
+
+``numpy.linalg.solve`` on a ``(batch, k, k)`` stack pays a per-matrix LAPACK
+dispatch cost that dwarfs the arithmetic when ``k <= 4`` — exactly the system
+sizes SRAM cells produce (the 6-T cell's read/write configurations have two
+free nodes).  ``solve_tiny`` replaces the LAPACK call with a fully vectorised
+closed-form (Cramer, ``k <= 3``) or an unrolled partially-pivoted Gaussian
+elimination (``k == 4``): a handful of elementwise passes over the batch
+instead of ``batch`` library calls.
+
+Contract: **tolerance, not bit-identity.**  The elimination order differs
+from LAPACK's, so solutions agree with ``xp.linalg.solve`` to float64
+round-off (regression-tested against it), not bitwise.  The DC solver
+therefore only uses this kernel when explicitly opted in (``tiny_solve=True``)
+and the bit-identity battery pins the default path.  Exactly singular
+systems yield ``inf``/``nan`` rather than raising like LAPACK does; the
+solver's ``gmin`` diagonal loading keeps its Jacobians away from that case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.dispatch import take_along_axis
+
+#: Largest system size ``solve_tiny`` accepts.
+TINY_SOLVE_MAX = 4
+
+
+def can_solve_tiny(n_unknowns: int) -> bool:
+    return 1 <= n_unknowns <= TINY_SOLVE_MAX
+
+
+def solve_tiny(jac, rhs, xp=np):
+    """Solve ``jac @ x = rhs`` for trailing ``(k, k)`` systems, ``k <= 4``.
+
+    ``jac`` has shape ``(*batch, k, k)`` and ``rhs`` ``(*batch, k)``; returns
+    ``(*batch, k)``.  See the module docstring for the accuracy contract.
+    """
+    k = jac.shape[-1]
+    if not can_solve_tiny(k):
+        raise ValueError(f"solve_tiny supports k <= {TINY_SOLVE_MAX}, got {k}")
+    if k == 1:
+        return rhs / jac[..., 0]
+    if k == 2:
+        return _solve2(jac, rhs, xp)
+    if k == 3:
+        return _solve3(jac, rhs, xp)
+    return _solve_ge(jac, rhs, xp)
+
+
+def _solve2(jac, rhs, xp):
+    a, b = jac[..., 0, 0], jac[..., 0, 1]
+    c, d = jac[..., 1, 0], jac[..., 1, 1]
+    r0, r1 = rhs[..., 0], rhs[..., 1]
+    inv_det = 1.0 / (a * d - b * c)
+    x0 = (r0 * d - r1 * b) * inv_det
+    x1 = (a * r1 - c * r0) * inv_det
+    return xp.stack((x0, x1), axis=-1)
+
+
+def _solve3(jac, rhs, xp):
+    a00, a01, a02 = jac[..., 0, 0], jac[..., 0, 1], jac[..., 0, 2]
+    a10, a11, a12 = jac[..., 1, 0], jac[..., 1, 1], jac[..., 1, 2]
+    a20, a21, a22 = jac[..., 2, 0], jac[..., 2, 1], jac[..., 2, 2]
+    r0, r1, r2 = rhs[..., 0], rhs[..., 1], rhs[..., 2]
+    c00 = a11 * a22 - a12 * a21
+    c01 = a12 * a20 - a10 * a22
+    c02 = a10 * a21 - a11 * a20
+    inv_det = 1.0 / (a00 * c00 + a01 * c01 + a02 * c02)
+    # Remaining cofactors (adjugate transpose applied to the rhs).
+    c10 = a02 * a21 - a01 * a22
+    c11 = a00 * a22 - a02 * a20
+    c12 = a01 * a20 - a00 * a21
+    c20 = a01 * a12 - a02 * a11
+    c21 = a02 * a10 - a00 * a12
+    c22 = a00 * a11 - a01 * a10
+    x0 = (c00 * r0 + c10 * r1 + c20 * r2) * inv_det
+    x1 = (c01 * r0 + c11 * r1 + c21 * r2) * inv_det
+    x2 = (c02 * r0 + c12 * r1 + c22 * r2) * inv_det
+    return xp.stack((x0, x1, x2), axis=-1)
+
+
+def _solve_ge(jac, rhs, xp):
+    """Vectorised Gaussian elimination with partial pivoting (k = 4)."""
+    k = jac.shape[-1]
+    # Work on an augmented (*batch, k, k+1) system so row swaps and
+    # elimination updates cover the rhs for free.
+    aug = xp.concat((jac, rhs[..., None]), axis=-1)
+    batch = aug.shape[:-2]
+    row_ids = xp.reshape(xp.arange(k), (1,) * len(batch) + (k, 1))
+    for col in range(k - 1):
+        # Pivot: the largest |entry| on/under the diagonal of this column.
+        piv = xp.argmax(xp.abs(aug[..., col:, col]), axis=-1) + col
+        piv = piv[..., None, None]
+        # Swap rows ``col`` and ``piv`` via a per-batch row permutation.
+        perm = xp.where(row_ids == col, piv,
+                        xp.where(row_ids == piv, col, row_ids))
+        aug = take_along_axis(xp, aug, xp.broadcast_to(
+            perm, batch + (k, aug.shape[-1])), axis=-2)
+        pivot_row = aug[..., col, :]
+        mult = aug[..., col + 1:, col] / pivot_row[..., col][..., None]
+        aug = xp.concat((
+            aug[..., : col + 1, :],
+            aug[..., col + 1:, :] - mult[..., None] * pivot_row[..., None, :],
+        ), axis=-2)
+    # Back substitution.
+    xs = [None] * k
+    for row in range(k - 1, -1, -1):
+        acc = aug[..., row, k]
+        for col in range(row + 1, k):
+            acc = acc - aug[..., row, col] * xs[col]
+        xs[row] = acc / aug[..., row, row]
+    return xp.stack(tuple(xs), axis=-1)

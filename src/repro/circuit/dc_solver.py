@@ -4,7 +4,7 @@
 unclamped node.  Everything is vectorised across an arbitrary batch axis:
 node clamps and per-element parameters (threshold mismatches) may be arrays,
 and the Newton update ``J dv = -f`` is solved for all batch members at once
-with ``numpy.linalg.solve`` on a stacked ``(batch, n, n)`` Jacobian.
+with a stacked ``(batch, n, n)`` linear solve.
 
 Robustness measures (all standard SPICE practice):
 
@@ -15,11 +15,28 @@ Robustness measures (all standard SPICE practice):
   members that fail to converge on the first attempt.
 
 The Newton loop shrinks its **active set** as members converge: residual,
-Jacobian and ``np.linalg.solve`` are only evaluated over the still-running
+Jacobian and the linear solve are only evaluated over the still-running
 batch rows.  In a typical Monte-Carlo batch most samples converge within a
 few iterations and a handful of stragglers run long, so the tail iterations
 cost a fraction of the full batch — this compounds with the large lockstep
 multi-chain batches issued by the Gibbs engine.
+
+Two execution strategies share the loop:
+
+* the **compiled** stamping path (:mod:`repro.circuit.stamping`): fused
+  per-device-class evaluation, a static scatter program and reused
+  workspaces.  Default on the numpy backend, where it is bit-identical to
+  the generic walk (the bit-identity battery gates this).
+* the **generic** walk over ``Element.kcl_contributions``, which supports
+  arbitrary element classes and any array-API backend.  Select a non-numpy
+  backend per call (``backend="torch"``) or process-wide via
+  ``REPRO_BACKEND``; alternate backends carry a float64 *tolerance*
+  contract rather than bit-identity (see DESIGN.md, "Backends").
+
+``tiny_solve=True`` additionally replaces the stacked LAPACK solve with the
+closed-form batched kernel of :mod:`repro.backend.linalg` for systems with
+at most four free nodes.  It is opt-in because the elimination order
+perturbs results at round-off level.
 """
 
 from __future__ import annotations
@@ -29,7 +46,10 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.backend import get_namespace, is_numpy_namespace
+from repro.backend.linalg import can_solve_tiny, solve_tiny
 from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.stamping import compile_plan
 
 
 @dataclass
@@ -42,7 +62,8 @@ class DCSolution:
         The solved circuit.
     voltages:
         Mapping from node name to an array of node voltages with the batch
-        shape of the solve (clamped nodes included).
+        shape of the solve (clamped nodes included).  Arrays belong to the
+        backend the solve ran on (numpy by default).
     converged:
         Boolean array (batch shape): which batch members satisfied the
         residual tolerance.
@@ -77,8 +98,69 @@ class DCSolution:
 
 def _broadcast_batch(values) -> tuple:
     """Common batch shape of scalars/arrays in ``values``."""
-    shapes = [np.shape(v) for v in values]
+    shapes = [tuple(getattr(v, "shape", ())) or np.shape(v) for v in values]
     return np.broadcast_shapes(*shapes) if shapes else ()
+
+
+class _GenericEvaluator:
+    """Residual/Jacobian via the per-element ``kcl_contributions`` walk.
+
+    Works for any :class:`~repro.circuit.netlist.Element` subclass and any
+    array-API backend; the compiled path (:mod:`repro.circuit.stamping`)
+    replaces it on the supported numpy fast path.
+    """
+
+    def __init__(self, circuit, free_index, clamp_flat, params_flat, gmin, xp):
+        self.xp = xp
+        self.gmin = gmin
+        self.n_free = len(free_index)
+        self.free_index = free_index
+        self.clamp_flat = clamp_flat
+        # Per element: (element, terminal free-row indices, flat params).
+        self.elements = [
+            (el, [free_index.get(n, -1) for n in el.nodes],
+             params_flat.get(el.name, {}))
+            for el in circuit.elements
+        ]
+        self.rows_idx = None
+
+    def set_rows(self, rows_idx):
+        self.rows_idx = rows_idx
+
+    def compact(self, keep):
+        self.rows_idx = self.rows_idx[keep]
+
+    def residual_and_jacobian(self, v_act):
+        """KCL residual and Jacobian over the bound batch rows.
+
+        ``v_act`` holds only the active rows; clamp voltages and element
+        parameters are sliced to match, so the per-iteration cost scales
+        with the surviving active set rather than the full batch.
+        """
+        xp, rows_idx, n_free = self.xp, self.rows_idx, self.n_free
+        n_active = int(rows_idx.shape[0])
+        f = xp.zeros((n_active, n_free), dtype=xp.float64)
+        jac = xp.zeros((n_active, n_free, n_free), dtype=xp.float64)
+        node_v = {n: xp.take(self.clamp_flat[n], rows_idx, axis=0)
+                  for n in self.clamp_flat}
+        for node, idx in self.free_index.items():
+            node_v[node] = v_act[:, idx]
+        for element, rows, kw in self.elements:
+            terminal_v = tuple(node_v[n] for n in element.nodes)
+            kw_active = {k: xp.take(v, rows_idx, axis=0) for k, v in kw.items()}
+            currents, partials = element.kcl_contributions(
+                terminal_v, **kw_active
+            )
+            for i, row in enumerate(rows):
+                if row < 0:
+                    continue
+                f[:, row] += currents[i]
+                for j, col in enumerate(rows):
+                    if col >= 0:
+                        jac[:, row, col] += partials[i][j]
+        diag = xp.arange(n_free)
+        jac[:, diag, diag] += self.gmin
+        return f, jac
 
 
 def solve_dc(
@@ -91,6 +173,9 @@ def solve_dc(
     max_step: float = 0.25,
     gmin: float = 1e-12,
     voltage_margin: float = 0.5,
+    backend=None,
+    compiled: Optional[bool] = None,
+    tiny_solve: bool = False,
 ) -> DCSolution:
     """Solve the DC operating point of ``circuit``.
 
@@ -107,7 +192,27 @@ def solve_dc(
         Optional initial guesses for free nodes.  Bistable circuits (an SRAM
         cell!) converge to the stable state nearest the guess, so callers
         select the intended state here.
+    backend:
+        ``None`` (environment default — numpy unless ``REPRO_BACKEND`` says
+        otherwise), a backend name (``"numpy"`` / ``"torch"`` / ``"cupy"``)
+        or an array-API namespace object.
+    compiled:
+        ``None`` (default) uses the compiled stamping fast path whenever the
+        backend is numpy and every element is supported, falling back to the
+        generic walk otherwise.  ``False`` forces the generic walk (useful
+        for bit-identity checks); ``True`` requires the compiled path and
+        raises ``ValueError`` when it is unavailable.
+    tiny_solve:
+        Use the closed-form batched tiny-matrix kernel for the Newton
+        updates when the system has at most four free nodes.  Opt-in:
+        results agree with the LAPACK solve to float64 round-off but are
+        not bitwise identical.
     """
+    xp = get_namespace(backend)
+    is_numpy = is_numpy_namespace(xp)
+    if compiled is True and not is_numpy:
+        raise ValueError("compiled stamping requires the numpy backend")
+
     element_params = {name: dict(kw) for name, kw in (element_params or {}).items()}
     for name in element_params:
         circuit.element(name)  # validate names early
@@ -129,16 +234,28 @@ def solve_dc(
     batch_shape = _broadcast_batch(batch_values)
     n_batch = int(np.prod(batch_shape)) if batch_shape else 1
 
-    def flat(value) -> np.ndarray:
-        return np.broadcast_to(np.asarray(value, dtype=float), batch_shape).reshape(n_batch)
+    def flat(value):
+        """Flatten ``value`` to the ``(n_batch,)`` solve axis.
+
+        Scalars stay zero-copy: a stride-0 broadcast view is enough for
+        everything the solver does with clamps and parameters (read-only
+        gathers), so no ``(n_batch,)`` buffer is materialised per scalar.
+        """
+        arr = xp.asarray(value, dtype=xp.float64)
+        shape = tuple(arr.shape)
+        if shape == batch_shape:
+            return xp.reshape(arr, (n_batch,))
+        if shape == ():
+            return xp.broadcast_to(arr, (n_batch,))
+        return xp.reshape(xp.broadcast_to(arr, batch_shape), (n_batch,))
 
     clamp_flat = {n: flat(v) for n, v in clamp_map.items()}
     params_flat = {
         name: {k: flat(v) for k, v in kw.items()} for name, kw in element_params.items()
     }
 
-    rail_hi = max((float(np.max(v)) for v in clamp_flat.values()), default=1.0)
-    rail_lo = min((float(np.min(v)) for v in clamp_flat.values()), default=0.0)
+    rail_hi = max((float(xp.max(v)) for v in clamp_flat.values()), default=1.0)
+    rail_lo = min((float(xp.min(v)) for v in clamp_flat.values()), default=0.0)
     # Node voltages are confined to a window around the rails (standard
     # SPICE practice for MOSFET circuits); widen ``voltage_margin`` for
     # circuits whose nodes legitimately swing beyond the rails (current
@@ -148,50 +265,37 @@ def solve_dc(
     n_free = len(free_nodes)
     free_index = {n: i for i, n in enumerate(free_nodes)}
 
-    def initial_guess(default: float) -> np.ndarray:
-        guess = np.full((n_batch, n_free), default)
+    def initial_guess(default: float, rows_idx=None):
+        """Free-node guess rows — full batch, or just ``rows_idx`` of it."""
+        n_rows = n_batch if rows_idx is None else int(rows_idx.shape[0])
+        guess = xp.full((n_rows, n_free), default, dtype=xp.float64)
         for node, value in (initial or {}).items():
             if node in free_index:
-                guess[:, free_index[node]] = flat(value)
+                column = flat(value)
+                if rows_idx is not None:
+                    column = xp.take(column, rows_idx, axis=0)
+                guess[:, free_index[node]] = column
         return guess
 
-    # Precompute, per element, the terminal -> free-node scatter indices.
-    compiled = []
-    for element in circuit.elements:
-        rows = [free_index.get(n, -1) for n in element.nodes]
-        compiled.append((element, rows, params_flat.get(element.name, {})))
-
-    def residual_and_jacobian(v_free: np.ndarray, rows_idx: np.ndarray):
-        """KCL residual and Jacobian over the batch rows in ``rows_idx``.
-
-        ``v_free`` holds only the active rows (``rows_idx.size`` of them);
-        clamp voltages and element parameters are sliced to match, so the
-        per-iteration cost scales with the surviving active set rather than
-        the full batch.
-        """
-        n_active = rows_idx.size
-        f = np.zeros((n_active, n_free))
-        jac = np.zeros((n_active, n_free, n_free))
-        node_v = {n: clamp_flat[n][rows_idx] for n in clamp_flat}
-        for node, idx in free_index.items():
-            node_v[node] = v_free[:, idx]
-        for element, rows, kw in compiled:
-            terminal_v = tuple(node_v[n] for n in element.nodes)
-            kw_active = {k: v[rows_idx] for k, v in kw.items()}
-            currents, partials = element.kcl_contributions(
-                terminal_v, **kw_active
+    # ------------------------------------------------- evaluator selection
+    plan = None
+    if is_numpy and compiled is not False and n_free:
+        plan = compile_plan(circuit, free_index, list(clamp_map), element_params)
+        if plan is None and compiled is True:
+            raise ValueError(
+                "compiled=True but the circuit has elements or parameter "
+                "overrides the compiled stamping path does not support"
             )
-            for i, row in enumerate(rows):
-                if row < 0:
-                    continue
-                f[:, row] += currents[i]
-                for j, col in enumerate(rows):
-                    if col >= 0:
-                        jac[:, row, col] += partials[i][j]
-        jac[:, np.arange(n_free), np.arange(n_free)] += gmin
-        return f, jac
+    if plan is not None:
+        evaluator = plan.bind(clamp_flat, params_flat, n_batch, gmin)
+    else:
+        evaluator = _GenericEvaluator(
+            circuit, free_index, clamp_flat, params_flat, gmin, xp
+        )
 
-    def newton(v_free: np.ndarray, active: np.ndarray, iters: int, step_cap: float):
+    use_tiny = tiny_solve and can_solve_tiny(n_free)
+
+    def newton(v_free, active, iters: int, step_cap: float):
         """Damped Newton on the ``active`` batch members.
 
         The active set shrinks as members converge — converged rows are
@@ -201,60 +305,71 @@ def solve_dc(
         actually executed.
         """
         converged = ~active
-        idx = np.flatnonzero(active)
+        idx = xp.nonzero(active)[0]
+        evaluator.set_rows(idx)
         v_act = v_free[idx]
         n_iters = 0
         for _ in range(iters):
-            if idx.size == 0:
+            if int(idx.shape[0]) == 0:
                 break
-            f, jac = residual_and_jacobian(v_act, idx)
-            err = np.abs(f).max(axis=1)
+            f, jac = evaluator.residual_and_jacobian(v_act)
+            err = xp.max(xp.abs(f), axis=1)
             done = err < current_tol
-            if done.any():
+            if bool(xp.any(done)):
                 converged[idx[done]] = True
                 v_free[idx[done]] = v_act[done]
                 keep = ~done
                 idx, v_act, f, jac = idx[keep], v_act[keep], f[keep], jac[keep]
-                if idx.size == 0:
+                evaluator.compact(keep)
+                if int(idx.shape[0]) == 0:
                     break
-            dv = np.linalg.solve(jac, -f[..., np.newaxis])[..., 0]
-            dv = np.clip(dv, -step_cap, step_cap)
-            v_act = np.clip(v_act + dv, v_min, v_max)
+            if use_tiny:
+                dv = solve_tiny(jac, -f, xp=xp)
+            else:
+                dv = xp.linalg.solve(jac, -f[..., None])[..., 0]
+            dv = xp.clip(dv, -step_cap, step_cap)
+            v_act = xp.clip(v_act + dv, v_min, v_max)
             n_iters += 1
         else:
             # Iteration budget exhausted: one last residual check on the
             # stragglers (a final step may have just crossed the tolerance).
-            if idx.size:
-                f, _ = residual_and_jacobian(v_act, idx)
-                done = np.abs(f).max(axis=1) < current_tol
+            if int(idx.shape[0]):
+                f, _ = evaluator.residual_and_jacobian(v_act)
+                done = xp.max(xp.abs(f), axis=1) < current_tol
                 converged[idx[done]] = True
-        if idx.size:
+        if int(idx.shape[0]):
             v_free[idx] = v_act
         return v_free, converged, n_iters
 
     iterations = 0
     if n_free:
         v_free = initial_guess(0.5 * (rail_hi + rail_lo))
-        active = np.ones(n_batch, dtype=bool)
+        active = xp.ones(n_batch, dtype=xp.bool)
         v_free, converged, n_iters = newton(
             v_free, active, max_iterations, max_step
         )
         iterations += n_iters
-        if not converged.all():
-            # Restart stragglers from a rail-adjacent guess with heavy damping.
+        if not bool(xp.all(converged)):
+            # Restart stragglers from a rail-adjacent guess with heavy
+            # damping — built over the straggler rows only, not the batch.
             retry = ~converged
-            v_retry = initial_guess(0.9 * rail_hi)
-            v_free = np.where(retry[:, np.newaxis], v_retry, v_free)
+            retry_idx = xp.nonzero(retry)[0]
+            v_free[retry_idx] = initial_guess(0.9 * rail_hi, retry_idx)
             v_free, converged, n_iters = newton(
                 v_free, retry, max_iterations, 0.05
             )
             iterations += n_iters
     else:
-        v_free = np.zeros((n_batch, 0))
-        converged = np.ones(n_batch, dtype=bool)
+        v_free = xp.zeros((n_batch, 0), dtype=xp.float64)
+        converged = xp.ones(n_batch, dtype=xp.bool)
 
-    def unflatten(arr: np.ndarray) -> np.ndarray:
-        return arr.reshape(batch_shape) if batch_shape else arr.reshape(())
+    def unflatten(arr):
+        out = xp.reshape(arr, batch_shape)
+        # flat() hands out read-only broadcast views for scalars; results
+        # keep the historical contract of owning writable storage.
+        if isinstance(out, np.ndarray) and not out.flags.writeable:
+            out = out.copy()
+        return out
 
     voltages = {n: unflatten(clamp_flat[n]) for n in clamp_flat}
     for node, idx in free_index.items():

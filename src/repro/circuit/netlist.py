@@ -13,6 +13,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.devices.mosfet import Mosfet, MosfetParams
 
 #: Canonical name of the ground node.
@@ -67,7 +68,7 @@ class MosfetElement(Element):
         ids, d_dvg, d_dvd, d_dvs = self.device.current_and_derivs(
             vg, vd, vs, vb, delta_vth
         )
-        zero = np.zeros_like(ids)
+        zero = array_namespace(ids).zeros_like(ids)
         # By translation invariance the bulk partial is minus the sum of the
         # other three; it only matters if the bulk were a free node.
         d_dvb = -(d_dvg + d_dvd + d_dvs)
@@ -106,7 +107,12 @@ class Resistor(Element):
         va, vb = voltages
         g = 1.0 / self.resistance
         i = (va - vb) * g
-        g_arr = np.broadcast_to(g, np.shape(i)) if np.ndim(i) else g
+        shape = getattr(i, "shape", ())
+        if shape:
+            xp = array_namespace(i)
+            g_arr = xp.broadcast_to(xp.asarray(g, dtype=i.dtype), shape)
+        else:
+            g_arr = g
         currents = (i, -i)
         jacobian = ((g_arr, -g_arr), (-g_arr, g_arr))
         return currents, jacobian
@@ -126,15 +132,18 @@ class CurrentSource(Element):
 
     def kcl_contributions(self, voltages):
         va, vb = voltages
-        i = np.broadcast_to(self.current, np.shape(va)).astype(float)
-        zero = np.zeros_like(i)
+        xp = array_namespace(va)
+        shape = getattr(va, "shape", ())
+        i = xp.full(shape, self.current, dtype=xp.float64)
+        zero = xp.zeros_like(i)
         currents = (i, -i)
         jacobian = ((zero, zero), (zero, zero))
         return currents, jacobian
 
     def branch_current(self, voltages):
         va, _ = voltages
-        return np.broadcast_to(self.current, np.shape(va)).astype(float)
+        xp = array_namespace(va)
+        return xp.full(getattr(va, "shape", ()), self.current, dtype=xp.float64)
 
 
 class Circuit:

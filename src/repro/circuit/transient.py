@@ -10,6 +10,12 @@ Monte-Carlo batch exactly like :func:`repro.circuit.dc_solver.solve_dc`.
 Backward Euler's stiff-decay (L-stability) suits latch dynamics: the
 interesting behaviour is which basin the state settles into, not waveform
 micro-detail, and BE never oscillates into the wrong one.
+
+The engine shares the DC solver's two execution strategies: the compiled
+stamping path of :mod:`repro.circuit.stamping` (numpy, bit-identical,
+default) with the clamp rows rewritten in place as the sources move, and
+the generic per-element walk for custom elements or alternate array-API
+backends (``backend=`` / ``REPRO_BACKEND``, float64 tolerance contract).
 """
 
 from __future__ import annotations
@@ -19,7 +25,14 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.backend import (
+    array_namespace,
+    get_namespace,
+    is_numpy_namespace,
+    take_along_axis,
+)
 from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.stamping import compile_plan
 
 
 @dataclass
@@ -54,24 +67,26 @@ class TransientResult:
         Linear interpolation between steps; vectorised over the batch.
         """
         wave = self.waveform(node)
+        xp = array_namespace(wave)
+        time = xp.asarray(self.time, dtype=xp.float64)
         above = wave >= level
         if rising:
             hits = (~above[:-1]) & above[1:]
         else:
             hits = above[:-1] & (~above[1:])
-        batch_shape = wave.shape[1:]
-        out = np.full(batch_shape, np.nan)
-        idx = hits.argmax(axis=0)
-        any_hit = hits.any(axis=0)
-        t0 = self.time[idx]
-        t1 = self.time[idx + 1]
-        v0 = np.take_along_axis(wave, idx[np.newaxis, ...], axis=0)[0]
-        v1 = np.take_along_axis(wave, (idx + 1)[np.newaxis, ...], axis=0)[0]
+        idx = xp.argmax(xp.astype(hits, xp.int64) if hasattr(xp, "astype")
+                        else hits.astype(np.int64), axis=0)
+        any_hit = xp.any(hits, axis=0)
+        t0 = time[idx]
+        t1 = time[idx + 1]
+        v0 = take_along_axis(xp, wave, idx[None, ...], axis=0)[0]
+        v1 = take_along_axis(xp, wave, (idx + 1)[None, ...], axis=0)[0]
         dv = v1 - v0
-        frac = np.where(np.abs(dv) > 0, (level - v0) / np.where(dv != 0, dv, 1.0), 0.0)
-        crossing = t0 + np.clip(frac, 0.0, 1.0) * (t1 - t0)
-        out = np.where(any_hit, crossing, np.nan)
-        return out
+        frac = xp.where(xp.abs(dv) > 0,
+                        (level - v0) / xp.where(dv != 0, dv, xp.asarray(1.0)),
+                        xp.asarray(0.0))
+        crossing = t0 + xp.clip(frac, 0.0, 1.0) * (t1 - t0)
+        return xp.where(any_hit, crossing, xp.asarray(float("nan")))
 
 
 def simulate_transient(
@@ -86,6 +101,8 @@ def simulate_transient(
     current_tol: float = 1e-10,
     settle_tol: Optional[float] = None,
     settle_after: float = 0.0,
+    backend=None,
+    compiled: Optional[bool] = None,
 ) -> TransientResult:
     """Integrate the circuit from t = 0 to ``t_stop`` with step ``dt``.
 
@@ -114,9 +131,17 @@ def simulate_transient(
         the last source event has happened (e.g. the wordline step time);
         successive source samples are additionally checked for equality as
         a safety net.
+    backend:
+        ``None`` (environment default), a backend name, or an array-API
+        namespace object — as in :func:`repro.circuit.dc_solver.solve_dc`.
+    compiled:
+        ``None`` auto-selects the compiled stamping path on numpy,
+        ``False`` forces the generic walk, ``True`` requires compilation.
     """
     if dt <= 0 or t_stop <= 0:
         raise ValueError("dt and t_stop must be positive")
+    xp = get_namespace(backend)
+    is_numpy = is_numpy_namespace(xp)
     element_params = {k: dict(v) for k, v in (element_params or {}).items()}
     for name in element_params:
         circuit.element(name)
@@ -135,17 +160,23 @@ def simulate_transient(
 
     batch_values = []
     for value in sources.values():
-        batch_values.append(np.asarray(waveform_value(value, 0.0)))
+        batch_values.append(np.shape(waveform_value(value, 0.0)))
     for kw in element_params.values():
-        batch_values.extend(np.asarray(v) for v in kw.values())
+        batch_values.extend(np.shape(v) for v in kw.values())
     if initial:
-        batch_values.extend(np.asarray(v) for v in initial.values())
-    batch_shape = np.broadcast_shapes(*(np.shape(v) for v in batch_values)) \
-        if batch_values else ()
+        batch_values.extend(np.shape(v) for v in initial.values())
+    batch_shape = np.broadcast_shapes(*batch_values) if batch_values else ()
     n_batch = int(np.prod(batch_shape)) if batch_shape else 1
 
     def flat(value):
-        return np.broadcast_to(np.asarray(value, dtype=float), batch_shape).reshape(n_batch)
+        """Flatten to the ``(n_batch,)`` axis; scalars stay zero-copy views."""
+        arr = xp.asarray(value, dtype=xp.float64)
+        shape = tuple(arr.shape)
+        if shape == batch_shape:
+            return xp.reshape(arr, (n_batch,))
+        if shape == ():
+            return xp.broadcast_to(arr, (n_batch,))
+        return xp.reshape(xp.broadcast_to(arr, batch_shape), (n_batch,))
 
     params_flat = {
         name: {k: flat(v) for k, v in kw.items()}
@@ -156,38 +187,35 @@ def simulate_transient(
     )
     if np.any(cap <= 0):
         raise ValueError("capacitances must be positive")
+    g_cap = xp.asarray(cap / dt)  # backward-Euler companion conductance
 
-    compiled = []
-    for element in circuit.elements:
-        rows = [free_index.get(n, -1) for n in element.nodes]
-        compiled.append((element, rows, params_flat.get(element.name, {})))
+    # ------------------------------------------------- evaluator selection
+    if compiled is True and not is_numpy:
+        raise ValueError("compiled stamping requires the numpy backend")
+    clamp_names = [GROUND] + list(sources)
+    plan = None
+    if is_numpy and compiled is not False and n_free:
+        plan = compile_plan(circuit, free_index, clamp_names, element_params)
+        if plan is None and compiled is True:
+            raise ValueError(
+                "compiled=True but the circuit has elements or parameter "
+                "overrides the compiled stamping path does not support"
+            )
 
-    n_steps = int(np.ceil(t_stop / dt))
-    time = np.linspace(0.0, n_steps * dt, n_steps + 1)
+    elements = [
+        (element, [free_index.get(n, -1) for n in element.nodes],
+         params_flat.get(element.name, {}))
+        for element in circuit.elements
+    ]
 
-    v = np.zeros((n_batch, n_free))
-    for node, value in (initial or {}).items():
-        if node in free_index:
-            v[:, free_index[node]] = flat(value)
-
-    waves = {n: np.empty((n_steps + 1, n_batch)) for n in all_nodes}
-    waves[GROUND][:] = 0.0
-    converged_all = np.ones(n_batch, dtype=bool)
-
-    def record(step, clamp_now):
-        for node, idx in free_index.items():
-            waves[node][step] = v[:, idx]
-        for node, value in clamp_now.items():
-            waves[node][step] = value
-
-    def kcl(v_free, clamp_now):
-        f = np.zeros((n_batch, n_free))
-        jac = np.zeros((n_batch, n_free, n_free))
-        node_v = {GROUND: np.zeros(n_batch)}
+    def kcl_generic(v_free, clamp_now):
+        f = xp.zeros((n_batch, n_free), dtype=xp.float64)
+        jac = xp.zeros((n_batch, n_free, n_free), dtype=xp.float64)
+        node_v = {GROUND: xp.zeros(n_batch, dtype=xp.float64)}
         node_v.update(clamp_now)
         for node, idx in free_index.items():
             node_v[node] = v_free[:, idx]
-        for element, rows, kw in compiled:
+        for element, rows, kw in elements:
             terminal_v = tuple(node_v[n] for n in element.nodes)
             currents, partials = element.kcl_contributions(terminal_v, **kw)
             for i, row in enumerate(rows):
@@ -199,28 +227,64 @@ def simulate_transient(
                         jac[:, row, col] += partials[i][j]
         return f, jac
 
+    workspace = None
+    if plan is not None:
+        ground_zero = {GROUND: flat(0.0)}
+        workspace = plan.bind(
+            {**ground_zero, **{n: flat(waveform_value(w, 0.0))
+                               for n, w in sources.items()}},
+            params_flat, n_batch, gmin=None,
+        )
+        workspace.set_rows(np.arange(n_batch))
+
+    def kcl(v_free, clamp_now):
+        if workspace is None:
+            return kcl_generic(v_free, clamp_now)
+        return workspace.residual_and_jacobian(v_free)
+
+    n_steps = int(np.ceil(t_stop / dt))
+    time = np.linspace(0.0, n_steps * dt, n_steps + 1)
+
+    v = xp.zeros((n_batch, n_free), dtype=xp.float64)
+    for node, value in (initial or {}).items():
+        if node in free_index:
+            v[:, free_index[node]] = flat(value)
+
+    waves = {n: xp.zeros((n_steps + 1, n_batch), dtype=xp.float64)
+             for n in all_nodes}
+    converged_all = xp.ones(n_batch, dtype=xp.bool)
+
+    def record(step, clamp_now):
+        for node, idx in free_index.items():
+            waves[node][step] = v[:, idx]
+        for node, value in clamp_now.items():
+            waves[node][step] = value
+
     clamp_now = {n: flat(waveform_value(w, 0.0)) for n, w in sources.items()}
     record(0, clamp_now)
 
-    g_cap = cap / dt  # backward-Euler companion conductance per node
+    diag = xp.arange(n_free)
     settled_streak = 0
     for step in range(1, n_steps + 1):
         t = time[step]
         clamp_prev = clamp_now
         clamp_now = {n: flat(waveform_value(w, t)) for n, w in sources.items()}
-        v_prev = v.copy()
+        if workspace is not None:
+            workspace.update_clamps(clamp_now)
+        v_prev = v
         # Newton on: KCL(v) + C (v - v_prev) / dt = 0
-        ok = np.zeros(n_batch, dtype=bool)
+        ok = xp.zeros(n_batch, dtype=xp.bool)
         for _ in range(max_newton):
             f, jac = kcl(v, clamp_now)
             f = f + (v - v_prev) * g_cap
-            jac[:, np.arange(n_free), np.arange(n_free)] += g_cap
-            err = np.abs(f).max(axis=1) if n_free else np.zeros(n_batch)
+            jac[:, diag, diag] += g_cap
+            err = (xp.max(xp.abs(f), axis=1) if n_free
+                   else xp.zeros(n_batch, dtype=xp.float64))
             ok = err < current_tol
-            if ok.all():
+            if bool(xp.all(ok)):
                 break
-            dv = np.linalg.solve(jac, -f[..., np.newaxis])[..., 0]
-            dv = np.clip(dv, -0.3, 0.3)
+            dv = xp.linalg.solve(jac, -f[..., None])[..., 0]
+            dv = xp.clip(dv, -0.3, 0.3)
             dv[ok] = 0.0
             v = v + dv
         converged_all &= ok
@@ -228,9 +292,9 @@ def simulate_transient(
 
         if settle_tol is not None and t > settle_after:
             sources_static = all(
-                np.array_equal(clamp_now[n], clamp_prev[n]) for n in clamp_now
+                bool(xp.all(clamp_now[n] == clamp_prev[n])) for n in clamp_now
             )
-            moved = np.abs(v - v_prev).max() if n_free else 0.0
+            moved = float(xp.max(xp.abs(v - v_prev))) if n_free else 0.0
             if sources_static and moved < settle_tol:
                 settled_streak += 1
                 if settled_streak >= 3:
@@ -245,14 +309,16 @@ def simulate_transient(
                 settled_streak = 0
 
     def unflatten(arr):
-        return arr.reshape((n_steps + 1,) + batch_shape) if batch_shape else arr[:, 0]
+        if batch_shape:
+            return xp.reshape(arr, (n_steps + 1,) + batch_shape)
+        return arr[:, 0]
 
     return TransientResult(
         time=time,
         voltages={n: unflatten(w) for n, w in waves.items()},
         converged=(
-            converged_all.reshape(batch_shape) if batch_shape
-            else converged_all.reshape(())
+            xp.reshape(converged_all, batch_shape) if batch_shape
+            else xp.reshape(converged_all, ())
         ),
     )
 

@@ -32,6 +32,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.backend import array_namespace
+
 #: Thermal voltage kT/q at 300 K, in volts.
 THERMAL_VOLTAGE = 0.02585
 
@@ -40,22 +42,72 @@ NMOS = 1
 PMOS = -1
 
 
-def _interp_f(u: np.ndarray) -> np.ndarray:
+def _interp_f(u: np.ndarray, xp=np) -> np.ndarray:
     """EKV interpolation function F(u) = ln(1 + exp(u/2))^2, stable for all u."""
-    half = 0.5 * np.asarray(u, dtype=float)
-    soft = np.logaddexp(0.0, half)  # ln(1 + exp(u/2)) without overflow
-    return soft * soft
+    half = 0.5 * xp.asarray(u, dtype=xp.float64)
+    soft = xp.logaddexp(xp.asarray(0.0, dtype=xp.float64), half)
+    return soft * soft  # ln(1 + exp(u/2)) without overflow
 
 
-def _interp_f_and_deriv(u: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def _interp_f_and_deriv(u: np.ndarray, xp=np) -> Tuple[np.ndarray, np.ndarray]:
     """Return F(u) and dF/du = ln(1+exp(u/2)) * sigmoid(u/2)."""
-    half = 0.5 * np.asarray(u, dtype=float)
-    soft = np.logaddexp(0.0, half)
+    half = 0.5 * xp.asarray(u, dtype=xp.float64)
+    soft = xp.logaddexp(xp.asarray(0.0, dtype=xp.float64), half)
     # sigmoid(u/2) from the always-decaying exponential: stable in both
     # tails and branch-free (this sits in the innermost solver loop).
-    decay = np.exp(-np.abs(half))
-    sig = np.where(half >= 0.0, 1.0 / (1.0 + decay), decay / (1.0 + decay))
+    decay = xp.exp(-xp.abs(half))
+    sig = xp.where(half >= 0.0, 1.0 / (1.0 + decay), decay / (1.0 + decay))
     return soft * soft, soft * sig
+
+
+def ekv_current_and_derivs(vg, vd, vs, vb, polarity, vth, beta, n, lam,
+                           delta_vth=0.0, xp=None):
+    """Vectorised EKV core: ``(ids, d_ids/d_vg, d_ids/d_vd, d_ids/d_vs)``.
+
+    All arguments may be scalars or mutually broadcastable arrays — device
+    parameters included, which is what lets the compiled circuit stamper
+    (:mod:`repro.circuit.stamping`) evaluate *every MOSFET of a circuit at
+    once* with a leading device axis.  The arithmetic is elementwise and
+    performed in exactly the same operation order as the historical
+    per-device code, so a stacked evaluation is bit-identical per lane to
+    per-device calls on the numpy backend.
+
+    ``xp`` is the array namespace (default: inferred from the array
+    arguments; numpy when all are numpy/scalars).
+    """
+    if xp is None:
+        xp = array_namespace(vg, vd, vs, vb, delta_vth)
+    f64 = xp.float64
+    # Reference to the bulk, then reflect PMOS into the NMOS frame:
+    # v' = polarity * (v - vb), I' = polarity * I.
+    vb = xp.asarray(vb, dtype=f64)
+    vg_n = polarity * (xp.asarray(vg, dtype=f64) - vb)
+    vd_n = polarity * (xp.asarray(vd, dtype=f64) - vb)
+    vs_n = polarity * (xp.asarray(vs, dtype=f64) - vb)
+
+    ut = THERMAL_VOLTAGE
+    vth = vth + xp.asarray(delta_vth, dtype=f64)
+    vp = (vg_n - vth) / n
+    i_spec = 2.0 * n * beta * ut * ut
+
+    ff, dff = _interp_f_and_deriv((vp - vs_n) / ut, xp)
+    fr, dfr = _interp_f_and_deriv((vp - vd_n) / ut, xp)
+    core = ff - fr
+    clm = 1.0 + lam * (vd_n - vs_n)
+
+    ids_n = i_spec * core * clm
+
+    # Partials in the NMOS frame.
+    d_vp = 1.0 / n
+    d_core_dvg = (dff - dfr) * d_vp / ut
+    d_core_dvd = -dfr * (-1.0 / ut)  # d/dvd of fr term: fr' * (-1/ut), minus sign
+    d_core_dvs = -dff / ut
+    d_ids_dvg = i_spec * d_core_dvg * clm
+    d_ids_dvd = i_spec * (d_core_dvd * clm + core * lam)
+    d_ids_dvs = i_spec * (d_core_dvs * clm - core * lam)
+
+    # Map back: I = sgn * I_n(v' = sgn*v) -> dI/dv = sgn * dI_n/dv' * sgn = dI_n/dv'.
+    return polarity * ids_n, d_ids_dvg, d_ids_dvd, d_ids_dvs
 
 
 @dataclass(frozen=True)
@@ -139,37 +191,10 @@ class Mosfet:
         ``-(d_vg + d_vd + d_vs)`` by translation invariance if ever needed.
         """
         p = self.params
-        sgn = float(p.polarity)
-        # Reference to the bulk, then reflect PMOS into the NMOS frame:
-        # v' = polarity * (v - vb), I' = polarity * I.
-        vb = np.asarray(vb, dtype=float)
-        vg_n = sgn * (np.asarray(vg, dtype=float) - vb)
-        vd_n = sgn * (np.asarray(vd, dtype=float) - vb)
-        vs_n = sgn * (np.asarray(vs, dtype=float) - vb)
-
-        ut = THERMAL_VOLTAGE
-        vth = p.vth + np.asarray(delta_vth, dtype=float)
-        vp = (vg_n - vth) / p.n
-        i_spec = 2.0 * p.n * p.beta * ut * ut
-
-        ff, dff = _interp_f_and_deriv((vp - vs_n) / ut)
-        fr, dfr = _interp_f_and_deriv((vp - vd_n) / ut)
-        core = ff - fr
-        clm = 1.0 + p.lam * (vd_n - vs_n)
-
-        ids_n = i_spec * core * clm
-
-        # Partials in the NMOS frame.
-        d_vp = 1.0 / p.n
-        d_core_dvg = (dff - dfr) * d_vp / ut
-        d_core_dvd = -dfr * (-1.0 / ut)  # d/dvd of fr term: fr' * (-1/ut), minus sign
-        d_core_dvs = -dff / ut
-        d_ids_dvg = i_spec * d_core_dvg * clm
-        d_ids_dvd = i_spec * (d_core_dvd * clm + core * p.lam)
-        d_ids_dvs = i_spec * (d_core_dvs * clm - core * p.lam)
-
-        # Map back: I = sgn * I_n(v' = sgn*v) -> dI/dv = sgn * dI_n/dv' * sgn = dI_n/dv'.
-        return sgn * ids_n, d_ids_dvg, d_ids_dvd, d_ids_dvs
+        return ekv_current_and_derivs(
+            vg, vd, vs, vb, float(p.polarity), p.vth, p.beta, p.n, p.lam,
+            delta_vth=delta_vth,
+        )
 
     def __repr__(self) -> str:
         kind = "NMOS" if self.params.polarity == NMOS else "PMOS"

@@ -22,6 +22,11 @@ The right inverter (input ``v_q``, output ``v_qb``) plots as
 ``y = vtc_right(x)``; the left inverter (input ``v_qb``, output ``v_q``)
 plots as ``x = vtc_left(y)``.  The lobe at ``c = y - x > 0`` corresponds to
 the state storing 0 at ``q``; the ``c < 0`` lobe to storing 1.
+
+The extraction runs on any array-API backend: the namespace is inferred from
+the curve arrays (:func:`repro.backend.array_namespace`), so numpy callers
+are untouched and bit-identical while torch/cupy batches flow straight
+through.
 """
 
 from __future__ import annotations
@@ -30,8 +35,10 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.backend import array_namespace, errstate, gather_1d, take_along_axis
 
-def _interp_increasing(z: np.ndarray, grid: np.ndarray, c: np.ndarray) -> np.ndarray:
+
+def _interp_increasing(z, grid, c, xp=np):
     """Inverse-interpolate a batched monotone function.
 
     ``z`` has shape ``(P, *batch)`` and is strictly increasing along axis 0;
@@ -41,46 +48,42 @@ def _interp_increasing(z: np.ndarray, grid: np.ndarray, c: np.ndarray) -> np.nda
     """
     p = z.shape[0]
     batch_ndim = z.ndim - 1
-    c_col = c.reshape((-1, 1) + (1,) * batch_ndim)
+    c_col = xp.reshape(c, (-1, 1) + (1,) * batch_ndim)
     # Count of z-samples strictly below each level: the upper bracket index.
-    k = np.sum(z[np.newaxis, ...] < c_col, axis=1)
-    k = np.clip(k, 1, p - 1)
-    z0 = np.take_along_axis(z[np.newaxis, ...], (k - 1)[:, np.newaxis, ...], axis=1)[:, 0, ...]
-    z1 = np.take_along_axis(z[np.newaxis, ...], k[:, np.newaxis, ...], axis=1)[:, 0, ...]
-    g0 = grid[k - 1]
-    g1 = grid[k]
+    k = xp.sum(z[None, ...] < c_col, axis=1)
+    k = xp.clip(k, 1, p - 1)
+    z0 = take_along_axis(xp, z[None, ...], (k - 1)[:, None, ...], axis=1)[:, 0, ...]
+    z1 = take_along_axis(xp, z[None, ...], k[:, None, ...], axis=1)[:, 0, ...]
+    g0 = gather_1d(xp, grid, k - 1)
+    g1 = gather_1d(xp, grid, k)
     dz = z1 - z0
-    with np.errstate(divide="ignore", invalid="ignore"):
-        frac = np.where(dz > 0, (c_col[:, 0, ...] - z0) / np.where(dz > 0, dz, 1.0), 0.0)
-    frac = np.clip(frac, 0.0, 1.0)
+    with errstate(xp, divide="ignore", invalid="ignore"):
+        frac = xp.where(dz > 0, (c_col[:, 0, ...] - z0) / xp.where(dz > 0, dz, 1.0), 0.0)
+    frac = xp.clip(frac, 0.0, 1.0)
     return g0 + frac * (g1 - g0)
 
 
-def _interp_increasing_batched(
-    z: np.ndarray, grid: np.ndarray, c: np.ndarray
-) -> np.ndarray:
+def _interp_increasing_batched(z, grid, c, xp=np):
     """Like :func:`_interp_increasing` but with per-batch query levels.
 
     ``z`` is ``(P, *batch)`` strictly increasing along axis 0; ``c`` is
     ``(Q, *batch)``.  Returns ``(Q, *batch)``.
     """
     p = z.shape[0]
-    cmp = z[np.newaxis, ...] < c[:, np.newaxis, ...]
-    k = np.clip(np.sum(cmp, axis=1), 1, p - 1)
-    z0 = np.take_along_axis(z[np.newaxis, ...], (k - 1)[:, np.newaxis, ...], axis=1)[:, 0, ...]
-    z1 = np.take_along_axis(z[np.newaxis, ...], k[:, np.newaxis, ...], axis=1)[:, 0, ...]
-    g0 = grid[k - 1]
-    g1 = grid[k]
+    cmp = z[None, ...] < c[:, None, ...]
+    k = xp.clip(xp.sum(cmp, axis=1), 1, p - 1)
+    z0 = take_along_axis(xp, z[None, ...], (k - 1)[:, None, ...], axis=1)[:, 0, ...]
+    z1 = take_along_axis(xp, z[None, ...], k[:, None, ...], axis=1)[:, 0, ...]
+    g0 = gather_1d(xp, grid, k - 1)
+    g1 = gather_1d(xp, grid, k)
     dz = z1 - z0
-    with np.errstate(divide="ignore", invalid="ignore"):
-        frac = np.where(dz > 0, (c - z0) / np.where(dz > 0, dz, 1.0), 0.0)
-    frac = np.clip(frac, 0.0, 1.0)
+    with errstate(xp, divide="ignore", invalid="ignore"):
+        frac = xp.where(dz > 0, (c - z0) / xp.where(dz > 0, dz, 1.0), 0.0)
+    frac = xp.clip(frac, 0.0, 1.0)
     return g0 + frac * (g1 - g0)
 
 
-def slope_transforms(
-    grid: np.ndarray, vtc_left: np.ndarray, vtc_right: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray]:
+def slope_transforms(grid, vtc_left, vtc_right) -> Tuple[np.ndarray, np.ndarray]:
     """Slope-1 transforms ``(z_left, z_right)`` of the two butterfly curves.
 
     ``z_right = vtc_right - grid`` is the intercept ``y - x`` along curve R
@@ -90,19 +93,20 @@ def slope_transforms(
     :func:`lobe_margins` are functions of these two arrays alone, so
     callers compute them once per batch and share them.
     """
-    grid_col = np.asarray(grid, dtype=float).reshape(
-        (-1,) + (1,) * (vtc_right.ndim - 1)
+    xp = array_namespace(grid, vtc_left, vtc_right)
+    grid_col = xp.reshape(
+        xp.asarray(grid, dtype=xp.float64), (-1,) + (1,) * (vtc_right.ndim - 1)
     )
     return grid_col - vtc_left, vtc_right - grid_col
 
 
 def line_family_sides(
-    grid: np.ndarray,
-    vtc_left: np.ndarray,
-    vtc_right: np.ndarray,
-    c_levels: np.ndarray,
+    grid,
+    vtc_left,
+    vtc_right,
+    c_levels,
     transforms: Optional[Tuple[np.ndarray, np.ndarray]] = None,
-) -> np.ndarray:
+):
     """Signed inscribed-square side ``t(c)`` for every slope-1 line level.
 
     Parameters
@@ -125,25 +129,21 @@ def line_family_sides(
     -------
     ``(C, *batch)`` array of ``t(c) = x_R(c) - x_L(c)``.
     """
-    grid = np.asarray(grid, dtype=float)
-    c_levels = np.asarray(c_levels, dtype=float)
+    xp = array_namespace(grid, vtc_left, vtc_right, c_levels)
+    grid = xp.asarray(grid, dtype=xp.float64)
+    c_levels = xp.asarray(c_levels, dtype=xp.float64)
     if transforms is None:
         transforms = slope_transforms(grid, vtc_left, vtc_right)
     z_left, z_right = transforms
     # Curve R: points (grid, vtc_right); z = y - x decreasing along the grid.
-    x_right = _interp_increasing(-z_right, grid, -c_levels)
+    x_right = _interp_increasing(-z_right, grid, -c_levels, xp)
     # Curve L: points (vtc_left, grid); z = y - x increasing along the grid.
-    y_left = _interp_increasing(z_left, grid, c_levels)
-    x_left = y_left - c_levels.reshape((-1,) + (1,) * (y_left.ndim - 1))
+    y_left = _interp_increasing(z_left, grid, c_levels, xp)
+    x_left = y_left - xp.reshape(c_levels, (-1,) + (1,) * (y_left.ndim - 1))
     return x_right - x_left
 
 
-def lobe_margins(
-    grid: np.ndarray,
-    vtc_left: np.ndarray,
-    vtc_right: np.ndarray,
-    n_lines: int = 121,
-) -> Tuple[np.ndarray, np.ndarray]:
+def lobe_margins(grid, vtc_left, vtc_right, n_lines: int = 121):
     """Signed largest-square sides of both butterfly lobes.
 
     Returns ``(margin_pos, margin_neg)``, each of the batch shape:
@@ -154,13 +154,14 @@ def lobe_margins(
     A margin is positive when its lobe exists (its value is the usual SNM of
     that state) and negative when mismatch has destroyed the state.
     """
-    grid = np.asarray(grid, dtype=float)
+    xp = array_namespace(grid, vtc_left, vtc_right)
+    grid = xp.asarray(grid, dtype=xp.float64)
     span = float(grid[-1] - grid[0])
     if n_lines < 5 or n_lines % 2 == 0:
         raise ValueError(
             "n_lines must be an odd integer >= 5 so that c=0 is excluded symmetrically"
         )
-    c_levels = np.linspace(-span, span, n_lines)
+    c_levels = xp.linspace(-span, span, n_lines)
     transforms = slope_transforms(grid, vtc_left, vtc_right)
     t = line_family_sides(grid, vtc_left, vtc_right, c_levels, transforms)
 
@@ -169,31 +170,26 @@ def lobe_margins(
     # spurious t = 0 entries that mask negative (failed-lobe) margins.
     batch_ndim = vtc_left.ndim - 1
     z_left, z_right = transforms
-    c_col = c_levels.reshape((-1,) + (1,) * batch_ndim)
+    c_col = xp.reshape(c_levels, (-1,) + (1,) * batch_ndim)
     valid = (
-        (c_col > z_right.min(axis=0))
-        & (c_col < z_right.max(axis=0))
-        & (c_col > z_left.min(axis=0))
-        & (c_col < z_left.max(axis=0))
+        (c_col > xp.min(z_right, axis=0))
+        & (c_col < xp.max(z_right, axis=0))
+        & (c_col > xp.min(z_left, axis=0))
+        & (c_col < xp.max(z_left, axis=0))
     )
-    pos = (c_levels > 1e-12).reshape((-1,) + (1,) * batch_ndim)
-    neg = (c_levels < -1e-12).reshape((-1,) + (1,) * batch_ndim)
-    margin_pos = np.where(valid & pos, t, -np.inf).max(axis=0)
-    margin_neg = np.where(valid & neg, -t, -np.inf).max(axis=0)
+    pos = xp.reshape(c_levels > 1e-12, (-1,) + (1,) * batch_ndim)
+    neg = xp.reshape(c_levels < -1e-12, (-1,) + (1,) * batch_ndim)
+    margin_pos = xp.max(xp.where(valid & pos, t, -xp.inf), axis=0)
+    margin_neg = xp.max(xp.where(valid & neg, -t, -xp.inf), axis=0)
     # A lobe with no valid level at all is maximally collapsed: report the
     # worst representable margin instead of -inf so downstream arithmetic
     # (surrogate fits, binary searches) stays finite.
-    margin_pos = np.where(np.isfinite(margin_pos), margin_pos, -span)
-    margin_neg = np.where(np.isfinite(margin_neg), margin_neg, -span)
+    margin_pos = xp.where(xp.isfinite(margin_pos), margin_pos, -span)
+    margin_neg = xp.where(xp.isfinite(margin_neg), margin_neg, -span)
     return margin_pos, margin_neg
 
 
-def write_margin(
-    grid: np.ndarray,
-    vtc_left_write: np.ndarray,
-    vtc_right: np.ndarray,
-    y_cap_fraction: float = 0.5,
-) -> np.ndarray:
+def write_margin(grid, vtc_left_write, vtc_right, y_cap_fraction: float = 0.5):
     """Signed write margin from the write-configuration butterfly.
 
     During a write (left bitline at 0 V) the write-driven half-cell curve
@@ -215,21 +211,22 @@ def write_margin(
     intersection (top-left corner), where the clearance is legitimately
     zero.
     """
-    grid = np.asarray(grid, dtype=float)
+    xp = array_namespace(grid, vtc_left_write, vtc_right)
+    grid = xp.asarray(grid, dtype=xp.float64)
     y_cap = y_cap_fraction * float(grid[-1])
     keep = grid <= y_cap
-    if not np.any(keep):
+    if not bool(xp.any(keep)):
         raise ValueError("y_cap_fraction leaves no write-curve points to evaluate")
     y_p = grid[keep]
     batch_ndim = vtc_left_write.ndim - 1
     x_p = vtc_left_write[keep]
-    c_p = y_p.reshape((-1,) + (1,) * batch_ndim) - x_p
+    c_p = xp.reshape(y_p, (-1,) + (1,) * batch_ndim) - x_p
 
     # Crossing of each line with the read curve: z = h_R(x) - x is strictly
     # decreasing along the grid, so negate both sides for the increasing
     # interpolator.
-    grid_col = grid.reshape((-1,) + (1,) * batch_ndim)
+    grid_col = xp.reshape(grid, (-1,) + (1,) * batch_ndim)
     z_inc = grid_col - vtc_right
-    x_r = _interp_increasing_batched(z_inc, grid, -c_p)
+    x_r = _interp_increasing_batched(z_inc, grid, -c_p, xp)
     clearance = x_r - x_p
-    return clearance.min(axis=0)
+    return xp.min(clearance, axis=0)

@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.backend import get_namespace, is_numpy_namespace, to_numpy
 from repro.sram.butterfly import lobe_margins, write_margin
 from repro.sram.cell import SixTransistorCell
 from repro.sram.variation import VthMismatch
@@ -32,13 +33,24 @@ from repro.utils.validation import as_sample_matrix
 
 
 class SramMetric:
-    """Base class: chunked vectorised evaluation over mismatch samples."""
+    """Base class: chunked vectorised evaluation over mismatch samples.
+
+    ``backend`` selects the array backend the chunk kernels run on (name,
+    namespace object, or ``None`` for the ``REPRO_BACKEND`` environment
+    default).  Sample matrices stay numpy at the boundary: each chunk's
+    mismatch deltas are converted onto the backend, the half-cell solves and
+    margin extraction run there, and the metric values are converted back —
+    so callers (the samplers, the Monte-Carlo layer) never see backend
+    arrays.  On the numpy default the conversions are no-ops and the
+    evaluation is bit-identical to the historical code.
+    """
 
     def __init__(
         self,
         cell: Optional[SixTransistorCell] = None,
         devices: Optional[Sequence[str]] = None,
         chunk_size: int = 4096,
+        backend=None,
     ):
         self.cell = cell or SixTransistorCell()
         self.mismatch = VthMismatch(
@@ -47,6 +59,7 @@ class SramMetric:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.chunk_size = int(chunk_size)
+        self.backend = backend
 
     #: Subclasses override: device subset the metric varies by default.
     @staticmethod
@@ -60,12 +73,20 @@ class SramMetric:
     def evaluate(self, x: np.ndarray) -> np.ndarray:
         """Metric values for every row of the ``(n, M)`` sample matrix."""
         x = as_sample_matrix(x, self.dimension)
+        xp = get_namespace(self.backend)
+        numpy_path = is_numpy_namespace(xp)
         n = x.shape[0]
         out = np.empty(n)
         for start in range(0, n, self.chunk_size):
             stop = min(start + self.chunk_size, n)
             deltas = self.mismatch.deltas(x[start:stop])
-            out[start:stop] = self._evaluate_chunk(deltas)
+            if not numpy_path:
+                deltas = {
+                    name: xp.asarray(d, dtype=xp.float64)
+                    for name, d in deltas.items()
+                }
+            values = self._evaluate_chunk(deltas)
+            out[start:stop] = values if numpy_path else to_numpy(values)
         return out
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
@@ -79,8 +100,8 @@ class ReadNoiseMarginMetric(SramMetric):
     """Read static noise margin (V) of the stored-0 state."""
 
     def __init__(self, cell=None, devices=None, grid_points: int = 81,
-                 n_lines: int = 121, chunk_size: int = 4096):
-        super().__init__(cell, devices, chunk_size)
+                 n_lines: int = 121, chunk_size: int = 4096, backend=None):
+        super().__init__(cell, devices, chunk_size, backend)
         self.grid = np.linspace(0.0, self.cell.vdd, grid_points)
         self.n_lines = n_lines
 
@@ -96,8 +117,8 @@ class WriteNoiseMarginMetric(SramMetric):
     """Write margin (V) for writing 0 into a cell storing 1 (positive = writable)."""
 
     def __init__(self, cell=None, devices=None, grid_points: int = 81,
-                 n_lines: int = 121, chunk_size: int = 4096):
-        super().__init__(cell, devices, chunk_size)
+                 n_lines: int = 121, chunk_size: int = 4096, backend=None):
+        super().__init__(cell, devices, chunk_size, backend)
         self.grid = np.linspace(0.0, self.cell.vdd, grid_points)
         self.n_lines = n_lines
 
@@ -120,8 +141,8 @@ class HoldNoiseMarginMetric(SramMetric):
     """
 
     def __init__(self, cell=None, devices=None, grid_points: int = 81,
-                 n_lines: int = 121, chunk_size: int = 4096):
-        super().__init__(cell, devices, chunk_size)
+                 n_lines: int = 121, chunk_size: int = 4096, backend=None):
+        super().__init__(cell, devices, chunk_size, backend)
         self.grid = np.linspace(0.0, self.cell.vdd, grid_points)
         self.n_lines = n_lines
 

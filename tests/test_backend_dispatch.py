@@ -1,0 +1,177 @@
+"""Tests for the array-API backend dispatch layer (repro.backend)."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BACKEND_ENV,
+    BackendUnavailableError,
+    array_namespace,
+    astype,
+    available_backends,
+    device_info,
+    errstate,
+    gather_1d,
+    get_namespace,
+    is_numpy_namespace,
+    resolve_backend,
+    take_along_axis,
+    to_numpy,
+)
+
+
+class _FakeArray:
+    """A non-ndarray array-like: exercises the non-numpy code paths."""
+
+    def __init__(self, a):
+        self._a = np.asarray(a)
+
+    @property
+    def shape(self):
+        return self._a.shape
+
+    @property
+    def dtype(self):
+        return self._a.dtype
+
+    def __array__(self, dtype=None, copy=None):
+        return self._a
+
+
+class _MinimalNamespace:
+    """A strict array-API-flavoured namespace over numpy semantics.
+
+    Deliberately exposes only the operations the dispatch fallbacks are
+    allowed to assume (no ``take_along_axis``), so the shim implementations
+    get exercised even on a numpy-only machine.
+    """
+
+    __name__ = "minimal"
+
+    permute_dims = staticmethod(np.transpose)
+    reshape = staticmethod(np.reshape)
+    broadcast_to = staticmethod(np.broadcast_to)
+    arange = staticmethod(np.arange)
+    take = staticmethod(np.take)
+
+
+class TestResolution:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend() == "numpy"
+        assert get_namespace() is np
+
+    def test_alias_names(self):
+        assert resolve_backend("np") == "numpy"
+        assert resolve_backend("NumPy") == "numpy"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert get_namespace() is np
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "definitely-not-a-backend")
+        assert get_namespace("numpy") is np
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendUnavailableError, match="unknown backend"):
+            get_namespace("fortranpower")
+
+    def test_missing_backend_raises(self):
+        if "torch" in available_backends():
+            pytest.skip("torch is installed here")
+        with pytest.raises(BackendUnavailableError):
+            get_namespace("torch")
+
+    def test_namespace_object_passthrough(self):
+        ns = _MinimalNamespace()
+        assert get_namespace(ns) is ns
+
+    def test_available_backends_contains_numpy(self):
+        names = available_backends()
+        assert names[0] == "numpy"
+
+
+class TestNamespaceHelpers:
+    def test_is_numpy_namespace(self):
+        assert is_numpy_namespace(np)
+        assert not is_numpy_namespace(_MinimalNamespace())
+
+    def test_array_namespace_numpy_fast_path(self):
+        assert array_namespace(np.ones(3), 1.0, None) is np
+
+    def test_array_namespace_all_scalars(self):
+        assert array_namespace(1.0, 2, None) is np
+
+    def test_to_numpy_roundtrip(self):
+        a = np.arange(4.0)
+        assert to_numpy(a) is a
+        b = to_numpy(_FakeArray(a))
+        np.testing.assert_array_equal(b, a)
+
+    def test_astype(self):
+        out = astype(np, np.arange(3), np.float64)
+        assert out.dtype == np.float64
+
+    def test_errstate_numpy_suppresses(self):
+        with errstate(np, divide="ignore", invalid="ignore"):
+            out = np.float64(1.0) / np.zeros(2)
+        assert np.all(np.isinf(out))
+
+    def test_errstate_foreign_is_null_context(self):
+        with errstate(_MinimalNamespace()):
+            pass
+
+    def test_device_info_numpy(self):
+        info = device_info("numpy")
+        assert info["backend"] == "numpy"
+        assert info["numpy_version"] == np.__version__
+        assert "blas" in info
+
+
+class TestGatherShims:
+    def test_take_along_axis_numpy_dispatch(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 5, 6))
+        idx = rng.integers(0, 5, size=(4, 3, 6))
+        np.testing.assert_array_equal(
+            take_along_axis(np, x, idx, axis=1),
+            np.take_along_axis(x, idx, axis=1),
+        )
+
+    @pytest.mark.parametrize("axis", [0, 1, 2, -1])
+    def test_take_along_axis_fallback_matches_numpy(self, axis):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(3, 4, 5))
+        idx = rng.integers(0, x.shape[axis], size=(3, 4, 5))
+        ns = _MinimalNamespace()
+        np.testing.assert_array_equal(
+            take_along_axis(ns, x, idx, axis=axis),
+            np.take_along_axis(x, idx, axis=axis),
+        )
+
+    def test_take_along_axis_fallback_broadcast_leading(self):
+        # Index with a size-1 leading axis against a full array.
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 6, 4))
+        idx = rng.integers(0, 6, size=(5, 2, 4))
+        ns = _MinimalNamespace()
+        np.testing.assert_array_equal(
+            take_along_axis(ns, x, idx, axis=1),
+            np.take_along_axis(np.broadcast_to(x, (5, 6, 4)), idx, axis=1),
+        )
+
+    def test_gather_1d_numpy_fast_path(self):
+        values = np.arange(10.0)
+        idx = np.array([[1, 3], [5, 7]])
+        np.testing.assert_array_equal(gather_1d(np, values, idx), values[idx])
+
+    def test_gather_1d_fallback(self):
+        values = _FakeArray(np.arange(10.0))
+        idx = _FakeArray(np.array([[1, 3], [5, 7]]))
+        out = gather_1d(np, values, idx)
+        np.testing.assert_array_equal(out, np.arange(10.0)[np.array([[1, 3], [5, 7]])])
+
+    def test_backend_fixture_provides_namespace(self, backend_xp):
+        a = backend_xp.asarray([1.0, 2.0], dtype=backend_xp.float64)
+        np.testing.assert_allclose(to_numpy(a), [1.0, 2.0])
