@@ -18,8 +18,11 @@ from __future__ import annotations
 
 import contextlib
 import os
+import platform
 from functools import lru_cache
 from pathlib import Path
+
+import numpy as np
 
 from repro import telemetry
 from repro.analysis.experiments import compare_methods
@@ -63,6 +66,31 @@ def panel_tracing(name: str):
 
 def scaled(n: int, minimum: int = 2) -> int:
     return max(int(n * SCALE), minimum)
+
+
+def bench_metadata(**extra) -> dict:
+    """Environment stamp for every ``BENCH_*.json`` payload.
+
+    Benchmark numbers are meaningless without the machine and library
+    stack that produced them, so each writer embeds this record under an
+    ``"environment"`` key.  Keyword arguments extend (and may override)
+    the base fields for bench-specific context.
+    """
+    from repro.backend import available_backends, device_info
+
+    record = {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "backends": {
+            name: device_info(None if name == "numpy" else name)
+            for name in available_backends()
+        },
+        "bench_scale": SCALE,
+    }
+    record.update(extra)
+    return record
 
 
 def write_report(name: str, text: str) -> None:

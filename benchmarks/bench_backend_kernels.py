@@ -30,14 +30,13 @@ matches the measured 2.3x at 64–256 lanes with slack for machine noise.
 """
 
 import json
-import os
 import time
 from pathlib import Path
 
 import numpy as np
 
-from benchmarks._shared import SCALE, write_report
-from repro.backend import available_backends, device_info, get_namespace
+from benchmarks._shared import SCALE, bench_metadata, write_report
+from repro.backend import available_backends, get_namespace
 from repro.circuit import solve_dc
 from repro.sram.cell import DEVICE_NAMES, SixTransistorCell
 
@@ -130,11 +129,7 @@ def test_backend_kernel_throughput():
         "batch_sizes": list(BATCH_SIZES),
         "gibbs_sizes": list(GIBBS_SIZES),
         "rounds": max(3, int(round(5 * SCALE))),
-        "cpu_count": os.cpu_count(),
-        "backends": {
-            name: device_info(name if name != "numpy" else None)
-            for name in available_backends()
-        },
+        "environment": bench_metadata(),
         "records": records,
         "headline_compiled_speedup": headline,
     }

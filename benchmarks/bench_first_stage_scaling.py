@@ -25,7 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
-from benchmarks._shared import problem, scaled, write_report
+from benchmarks._shared import bench_metadata, problem, scaled, write_report
 from repro.analysis.tables import format_table
 from repro.gibbs.starting_point import find_starting_point
 from repro.gibbs.two_stage import (
@@ -134,6 +134,7 @@ def run():
 
     payload = {
         "cpu_count": cpu_count,
+        "environment": bench_metadata(),
         "problem": "rnm (read noise margin, M = 6)",
         "n_chains": N_CHAINS,
         "n_gibbs": n_gibbs,

@@ -20,7 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
-from benchmarks._shared import problem, scaled, write_report
+from benchmarks._shared import bench_metadata, problem, scaled, write_report
 from repro.analysis.tables import format_table
 from repro.gibbs.cartesian import CartesianGibbs
 from repro.gibbs.starting_point import find_starting_point
@@ -96,6 +96,7 @@ def run():
     speedup16 = lock16["samples_per_sec"] / seq_record["samples_per_sec"]
 
     payload = {
+        "environment": bench_metadata(),
         "problem": "rnm (read noise margin, M = 6)",
         "sampler": "CartesianGibbs",
         "n_gibbs_per_chain": n_gibbs,

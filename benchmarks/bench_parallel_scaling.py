@@ -26,7 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
-from benchmarks._shared import problem, scaled, write_report
+from benchmarks._shared import bench_metadata, problem, scaled, write_report
 from repro.analysis.experiments import compare_methods
 from repro.analysis.tables import format_table
 from repro.mc.montecarlo import brute_force_monte_carlo
@@ -104,6 +104,7 @@ def run():
 
     payload = {
         "cpu_count": cpu_count,
+        "environment": bench_metadata(),
         "mc_problem": "rnm (read noise margin, M = 6)",
         "mc_n_samples": n_samples,
         "mc_shard_size": shard_size,

@@ -24,7 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
-from benchmarks._shared import scaled, write_report
+from benchmarks._shared import bench_metadata, scaled, write_report
 from repro.analysis.tables import format_table
 from repro.parallel import default_workers
 from repro.service import ArtifactCache, JobRequest, execute_job
@@ -105,6 +105,7 @@ def run(tmp_root: Path = None):
     fresh_s = records[3]["elapsed_s"]
     payload = {
         "cpu_count": cpu_count,
+        "environment": bench_metadata(),
         "problem": "iread (read current, M = 2)",
         "method": "G-S",
         "n_second_stage_small": n_small,

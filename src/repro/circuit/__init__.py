@@ -11,6 +11,7 @@ golden Monte Carlo of Table II feasible in pure Python.
 from repro.circuit.netlist import Circuit, CurrentSource, MosfetElement, Resistor
 from repro.circuit.dc_solver import DCSolution, solve_dc
 from repro.circuit.sweep import dc_sweep
+from repro.circuit.warm import SolverStateCarrier, use_carrier
 from repro.circuit.transient import (
     TransientResult,
     pulse_waveform,
@@ -30,4 +31,6 @@ __all__ = [
     "TransientResult",
     "step_waveform",
     "pulse_waveform",
+    "SolverStateCarrier",
+    "use_carrier",
 ]

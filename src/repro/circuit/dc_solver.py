@@ -46,8 +46,9 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.backend import get_namespace, is_numpy_namespace
+from repro.backend import get_namespace, is_numpy_namespace, to_numpy
 from repro.backend.linalg import can_solve_tiny, solve_tiny
+from repro.circuit import warm as _warm
 from repro.circuit.netlist import GROUND, Circuit
 from repro.circuit.stamping import compile_plan
 
@@ -176,6 +177,7 @@ def solve_dc(
     backend=None,
     compiled: Optional[bool] = None,
     tiny_solve: bool = False,
+    warm_start: bool = False,
 ) -> DCSolution:
     """Solve the DC operating point of ``circuit``.
 
@@ -207,6 +209,17 @@ def solve_dc(
         updates when the system has at most four free nodes.  Opt-in:
         results agree with the LAPACK solve to float64 round-off but are
         not bitwise identical.
+    warm_start:
+        Consult the active :mod:`repro.circuit.warm` carrier (if any) for
+        per-lane converged free-node voltages from an earlier solve of the
+        same circuit topology, and seed Newton from them instead of the
+        rail midpoint / ``initial`` guess.  Only batches whose rows were
+        explicitly lane-tagged via :func:`repro.circuit.warm.set_lanes`
+        are seeded; converged rows are stored back for the next round.
+        Off by default: warm results agree with cold ones to solver
+        tolerance but are not bitwise identical, and for bistable circuits
+        the seed (like ``initial``) selects the nearest stable state — tag
+        lanes consistently or leave this off.
     """
     xp = get_namespace(backend)
     is_numpy = is_numpy_namespace(xp)
@@ -295,6 +308,18 @@ def solve_dc(
 
     use_tiny = tiny_solve and can_solve_tiny(n_free)
 
+    # Optional cross-call Newton warm start: claim the pending lane tag and
+    # look up each lane's last converged solution for this topology.
+    carrier = _warm.get_active() if warm_start else None
+    warm_lanes = warm_key = warm_seed = None
+    if carrier is not None and n_free:
+        warm_lanes = carrier.take_lanes(n_batch)
+        if warm_lanes is not None:
+            warm_key = ("dc", circuit.name, tuple(free_nodes))
+            warm_seed = carrier.seed(warm_key, warm_lanes)
+            if warm_seed is not None and warm_seed.shape != (n_free, n_batch):
+                warm_seed = None
+
     def newton(v_free, active, iters: int, step_cap: float):
         """Damped Newton on the ``active`` batch members.
 
@@ -344,6 +369,14 @@ def solve_dc(
     iterations = 0
     if n_free:
         v_free = initial_guess(0.5 * (rail_hi + rail_lo))
+        if warm_seed is not None:
+            # The seed is a previously *converged* solution for these very
+            # lanes, so it supersedes the generic guess (and any caller
+            # ``initial``, which already did its basin-selection job on the
+            # cold call that produced the seed).
+            v_free = xp.clip(
+                xp.asarray(warm_seed.T, dtype=xp.float64), v_min, v_max
+            )
         active = xp.ones(n_batch, dtype=xp.bool)
         v_free, converged, n_iters = newton(
             v_free, active, max_iterations, max_step
@@ -362,6 +395,11 @@ def solve_dc(
     else:
         v_free = xp.zeros((n_batch, 0), dtype=xp.float64)
         converged = xp.ones(n_batch, dtype=xp.bool)
+
+    if warm_lanes is not None:
+        ok = to_numpy(converged).astype(bool)
+        if ok.any():
+            carrier.store(warm_key, warm_lanes[ok], to_numpy(v_free)[ok].T)
 
     def unflatten(arr):
         out = xp.reshape(arr, batch_shape)

@@ -96,6 +96,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "over the worker pool")
         p.add_argument("--doe-budget", type=int, default=None,
                        help="surrogate/DOE simulation budget")
+        p.add_argument("--ladder-width", type=int, default=1,
+                       help="interval-search points per bracket side and "
+                            "round (Gibbs methods only); k > 1 trades "
+                            "extra simulations per round for fewer "
+                            "sequential rounds (default: 1, classic "
+                            "bisection)")
+        p.add_argument("--warm-start", action="store_true",
+                       help="seed each chain's Newton solves from its "
+                            "previous converged state (Gibbs methods "
+                            "only); results shift within solver "
+                            "tolerance (see DESIGN.md)")
         p.add_argument("--workers", type=int, default=None,
                        help="shard the sampling across this many worker "
                             "processes (default: serial): the second "
@@ -188,6 +199,12 @@ def build_parser() -> argparse.ArgumentParser:
     sm.add_argument("--n-gibbs", type=int, default=300)
     sm.add_argument("--n-chains", type=int, default=1)
     sm.add_argument("--doe-budget", type=int, default=None)
+    sm.add_argument("--ladder-width", type=int, default=1,
+                    help="first-stage interval-search ladder width "
+                         "(Gibbs methods only; part of the job identity)")
+    sm.add_argument("--warm-start", action="store_true",
+                    help="first-stage Newton warm starts (Gibbs methods "
+                         "only; part of the job identity)")
     sm.add_argument("--shard-size", type=int, default=1024,
                     help="second-stage samples per shard (part of the "
                          "stored record's identity)")
@@ -224,6 +241,34 @@ def _adaptive_kwargs(args, method: str) -> Optional[dict]:
         f"--adaptive-shards is ignored for {method} (Gibbs methods only)"
     )
     return {}
+
+
+def _first_stage_kwargs(args, methods) -> dict:
+    """Resolve ``--ladder-width`` / ``--warm-start`` into method kwargs.
+
+    Both knobs tune the Gibbs first stage only; for other methods they
+    are warned about and dropped rather than rejected, matching the
+    ``--adaptive-shards`` convention.  ``methods`` is the method label
+    (``estimate``) or the iterable of labels (``compare``) — the knobs
+    are forwarded only when *every* target method accepts them, because
+    ``compare`` fans the same kwargs to the whole panel.
+    """
+    kwargs = {}
+    if args.ladder_width != 1:
+        kwargs["ladder_width"] = args.ladder_width
+    if args.warm_start:
+        kwargs["solver_warm_start"] = True
+    if not kwargs:
+        return {}
+    targets = (methods,) if isinstance(methods, str) else tuple(methods)
+    non_gibbs = [name for name in targets if name not in ("G-C", "G-S")]
+    if non_gibbs:
+        logs.warning(
+            "--ladder-width/--warm-start are ignored for "
+            f"{', '.join(non_gibbs)} (Gibbs methods only)"
+        )
+        return {}
+    return kwargs
 
 
 def _print_verbose_extras(result) -> None:
@@ -299,6 +344,7 @@ def _cmd_estimate(args) -> int:
     adaptive = _adaptive_kwargs(args, args.method)
     if adaptive is None:
         return 2
+    first_stage = _first_stage_kwargs(args, args.method)
     recorder = _run_recorder(args)
     with (
         telemetry.activate(recorder)
@@ -310,7 +356,7 @@ def _cmd_estimate(args) -> int:
             n_second_stage=args.n_second, n_gibbs=args.n_gibbs,
             n_chains=args.n_chains,
             doe_budget=args.doe_budget, n_workers=args.workers,
-            **adaptive,
+            **adaptive, **first_stage,
         )
         if recorder is not None:
             record = result.extras.get("adaptive_sharding")
@@ -339,6 +385,7 @@ def _cmd_compare(args) -> int:
             "--adaptive-shards is ignored by compare "
             "(use `estimate` with a Gibbs method)"
         )
+    first_stage = _first_stage_kwargs(args, args.methods)
     recorder = _run_recorder(args)
     with (
         telemetry.activate(recorder)
@@ -351,6 +398,7 @@ def _cmd_compare(args) -> int:
             n_second_stage=args.n_second, n_gibbs=args.n_gibbs,
             n_chains=args.n_chains,
             doe_budget=args.doe_budget,
+            **first_stage,
         )
     for result in results.values():
         print(" ", result.summary())
@@ -427,6 +475,12 @@ def _cmd_submit(args) -> int:
             request["threshold"] = args.threshold
         if args.doe_budget is not None:
             request["doe_budget"] = args.doe_budget
+        # Only stamp non-default values: servers predating these fields
+        # reject unknown keys, so a default-valued submit stays compatible.
+        if args.ladder_width != 1:
+            request["ladder_width"] = args.ladder_width
+        if args.warm_start:
+            request["solver_warm_start"] = True
         if args.timeout is not None:
             request["timeout"] = args.timeout
         if args.no_cache:

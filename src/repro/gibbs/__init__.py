@@ -21,6 +21,7 @@ from repro.gibbs.bounds import (
     FailureInterval,
     batched_failure_interval,
     failure_interval,
+    ladder_rounds,
 )
 from repro.gibbs.cartesian import CartesianGibbs, GibbsChain, MultiChainGibbs
 from repro.gibbs.coordinates import (
@@ -44,6 +45,7 @@ __all__ = [
     "FailureInterval",
     "batched_failure_interval",
     "BatchedFailureIntervals",
+    "ladder_rounds",
     "sample_conditional_1d",
     "sample_conditional_batch",
     "CartesianGibbs",

@@ -10,11 +10,13 @@ of Algorithm 3 (5-10 simulations at default depth).
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.circuit import warm as _warm
 from repro.gibbs.inverse_transform import (
     sample_conditional_1d,
     sample_conditional_batch,
@@ -130,7 +132,17 @@ class CartesianGibbs:
         (Section IV-A suggests 8-10; beyond it the Normal mass is
         negligible).
     bisect_iters:
-        Binary-search depth per interval endpoint.
+        Interval-search depth per interval endpoint.
+    ladder_width:
+        Points evaluated per active bracket side per search round (see
+        :func:`repro.gibbs.bounds.batched_failure_interval`).  ``1`` is
+        classic bisection (bit-identical default); ``k > 1`` trades extra
+        simulations for fewer sequential metric calls per update.
+    solver_warm_start:
+        Seed each interval-search round's Newton solves from the same
+        chain's previous converged solution (:mod:`repro.circuit.warm`).
+        Off by default; results shift only within solver tolerance (see
+        the determinism note in DESIGN.md).
     """
 
     def __init__(
@@ -140,23 +152,39 @@ class CartesianGibbs:
         dimension: Optional[int] = None,
         zeta: float = 8.0,
         bisect_iters: int = 5,
+        ladder_width: int = 1,
+        solver_warm_start: bool = False,
     ):
         if zeta <= 0:
             raise ValueError(f"zeta must be positive, got {zeta}")
+        if ladder_width < 1:
+            raise ValueError(f"ladder_width must be >= 1, got {ladder_width}")
         self.metric = metric
         self.spec = spec
         self.dimension = int(dimension or getattr(metric, "dimension"))
         self.zeta = float(zeta)
         self.bisect_iters = int(bisect_iters)
+        self.ladder_width = int(ladder_width)
+        self.solver_warm_start = bool(solver_warm_start)
         self._normal = StandardNormal()
+
+    def _warm_scope(self):
+        """Fresh per-run solver-state carrier, or a no-op when warm is off."""
+        if self.solver_warm_start:
+            return _warm.use_carrier(_warm.SolverStateCarrier())
+        return contextlib.nullcontext()
 
     def _coordinate_indicator(self, x: np.ndarray, m: int):
         """Vectorised failure indicator along coordinate ``m`` through ``x``."""
+        hint = self.solver_warm_start
 
         def fails(values: np.ndarray) -> np.ndarray:
             values = np.atleast_1d(values)
             points = np.tile(x, (values.size, 1))
             points[:, m] = values
+            if hint:
+                # Sequential sampler: every row belongs to the one chain.
+                _warm.set_lanes(np.zeros(values.size, dtype=np.intp))
             return self.spec.indicator(self.metric(points))
 
         return fails
@@ -167,10 +195,13 @@ class CartesianGibbs:
         ``fails(chain_idx, values)`` evaluates chain ``chain_idx[i]``'s
         slice at ``values[i]`` — all rows in one metric batch.
         """
+        hint = self.solver_warm_start
 
         def fails(chain_idx: np.ndarray, values: np.ndarray) -> np.ndarray:
             points = states[chain_idx]
             points[:, m] = values
+            if hint:
+                _warm.set_lanes(chain_idx)
             return self.spec.indicator(self.metric(points))
 
         return fails
@@ -198,33 +229,39 @@ class CartesianGibbs:
                 f"starting point has dimension {x.size}, expected {self.dimension}"
             )
         n_sims = 0
-        if verify_start:
-            failing = bool(self.spec.indicator(self.metric(x[np.newaxis, :]))[0])
-            n_sims += 1
-            if not failing:
-                raise ValueError("starting point is not in the failure region")
-
         samples = np.empty((n_samples, self.dimension))
         widths: List[float] = []
-        k = 0
-        m = 0
-        while k < n_samples:
-            fails = self._coordinate_indicator(x, m)
-            new_value, interval = sample_conditional_1d(
-                fails,
-                current=float(x[m]),
-                base=self._normal,
-                lo=-self.zeta,
-                hi=self.zeta,
-                rng=rng,
-                bisect_iters=self.bisect_iters,
-            )
-            n_sims += interval.n_simulations
-            widths.append(interval.width)
-            x[m] = new_value
-            samples[k] = x
-            k += 1
-            m = (m + 1) % self.dimension
+        with self._warm_scope():
+            if verify_start:
+                if self.solver_warm_start:
+                    _warm.set_lanes(np.zeros(1, dtype=np.intp))
+                failing = bool(
+                    self.spec.indicator(self.metric(x[np.newaxis, :]))[0]
+                )
+                n_sims += 1
+                if not failing:
+                    raise ValueError("starting point is not in the failure region")
+
+            k = 0
+            m = 0
+            while k < n_samples:
+                fails = self._coordinate_indicator(x, m)
+                new_value, interval = sample_conditional_1d(
+                    fails,
+                    current=float(x[m]),
+                    base=self._normal,
+                    lo=-self.zeta,
+                    hi=self.zeta,
+                    rng=rng,
+                    bisect_iters=self.bisect_iters,
+                    ladder_width=self.ladder_width,
+                )
+                n_sims += interval.n_simulations
+                widths.append(interval.width)
+                x[m] = new_value
+                samples[k] = x
+                k += 1
+                m = (m + 1) % self.dimension
         return GibbsChain(samples=samples, n_simulations=n_sims, interval_widths=widths)
 
     def run_lockstep(
@@ -275,36 +312,40 @@ class CartesianGibbs:
         else:
             draw_rng = ensure_rng(rng)
         per_chain = np.zeros(n_chains, dtype=int)
-        if verify_start:
-            failing = np.asarray(
-                self.spec.indicator(self.metric(states)), dtype=bool
-            )
-            per_chain += 1
-            if not failing.all():
-                bad = np.flatnonzero(~failing)
-                raise ValueError(
-                    f"starting point(s) {bad.tolist()} not in the failure region"
-                )
-
         samples = np.empty((n_chains, n_samples, self.dimension))
         widths = np.empty((n_chains, n_samples))
-        m = 0
-        for k in range(n_samples):
-            fails = self._coordinate_indicator_lockstep(states, m)
-            new_values, intervals = sample_conditional_batch(
-                fails,
-                current=states[:, m],
-                base=self._normal,
-                lo=-self.zeta,
-                hi=self.zeta,
-                rng=draw_rng,
-                bisect_iters=self.bisect_iters,
-            )
-            per_chain += intervals.per_chain_simulations
-            widths[:, k] = intervals.widths
-            states[:, m] = new_values
-            samples[:, k, :] = states
-            m = (m + 1) % self.dimension
+        with self._warm_scope():
+            if verify_start:
+                if self.solver_warm_start:
+                    _warm.set_lanes(np.arange(n_chains, dtype=np.intp))
+                failing = np.asarray(
+                    self.spec.indicator(self.metric(states)), dtype=bool
+                )
+                per_chain += 1
+                if not failing.all():
+                    bad = np.flatnonzero(~failing)
+                    raise ValueError(
+                        f"starting point(s) {bad.tolist()} not in the failure region"
+                    )
+
+            m = 0
+            for k in range(n_samples):
+                fails = self._coordinate_indicator_lockstep(states, m)
+                new_values, intervals = sample_conditional_batch(
+                    fails,
+                    current=states[:, m],
+                    base=self._normal,
+                    lo=-self.zeta,
+                    hi=self.zeta,
+                    rng=draw_rng,
+                    bisect_iters=self.bisect_iters,
+                    ladder_width=self.ladder_width,
+                )
+                per_chain += intervals.per_chain_simulations
+                widths[:, k] = intervals.widths
+                states[:, m] = new_values
+                samples[:, k, :] = states
+                m = (m + 1) % self.dimension
         return MultiChainGibbs(
             samples=samples,
             n_simulations=int(per_chain.sum()),

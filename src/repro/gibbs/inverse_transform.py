@@ -33,6 +33,7 @@ def sample_conditional_1d(
     hi: float,
     rng: SeedLike = None,
     bisect_iters: int = 5,
+    ladder_width: int = 1,
 ) -> Tuple[float, FailureInterval]:
     """Draw one value from the 1-D Gibbs conditional around ``current``.
 
@@ -47,7 +48,9 @@ def sample_conditional_1d(
     implementation would behave.
     """
     rng = ensure_rng(rng)
-    interval = failure_interval(fails, current, lo, hi, bisect_iters)
+    interval = failure_interval(
+        fails, current, lo, hi, bisect_iters, ladder_width=ladder_width
+    )
     if not interval.lower < interval.upper:
         return float(current), interval
     try:
@@ -67,6 +70,7 @@ def sample_conditional_batch(
     hi: float,
     rng: SeedLike = None,
     bisect_iters: int = 5,
+    ladder_width: int = 1,
 ) -> Tuple[np.ndarray, BatchedFailureIntervals]:
     """Draw one value per lockstep chain from its 1-D Gibbs conditional.
 
@@ -101,7 +105,9 @@ def sample_conditional_batch(
         per_chain_rngs = [ensure_rng(r) for r in rng]
     else:
         rng = ensure_rng(rng)
-    intervals = batched_failure_interval(fails, current, lo, hi, bisect_iters)
+    intervals = batched_failure_interval(
+        fails, current, lo, hi, bisect_iters, ladder_width=ladder_width
+    )
 
     new_values = current.copy()
     lo_support, hi_support = base.support

@@ -16,10 +16,12 @@ coordinates (Algorithm 5 step 3).
 
 from __future__ import annotations
 
+import contextlib
 from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.circuit import warm as _warm
 from repro.gibbs.cartesian import GibbsChain, MultiChainGibbs
 from repro.gibbs.inverse_transform import (
     sample_conditional_1d,
@@ -54,6 +56,16 @@ class SphericalGibbs:
         to the clamp for any outward-unbounded failure region), so they
         need finer resolution before the bisection midpoints start landing
         inside them.
+    ladder_width:
+        Points evaluated per active bracket side per search round (see
+        :func:`repro.gibbs.bounds.batched_failure_interval`); applies to
+        both the radial and the orientation searches.  ``1`` is classic
+        bisection (bit-identical default).
+    solver_warm_start:
+        Seed each search round's Newton solves from the same chain's
+        previous converged solution (:mod:`repro.circuit.warm`).  Off by
+        default; results shift only within solver tolerance (DESIGN.md
+        determinism note).
     normalize_each_sweep:
         Renormalise ``||alpha|| = sqrt(M)`` at the start of every sweep.
         The (r, alpha) parameterisation is scale-redundant — Eq. (11) makes
@@ -80,9 +92,13 @@ class SphericalGibbs:
         bisect_iters: int = 5,
         alpha_bisect_iters: Optional[int] = None,
         normalize_each_sweep: bool = True,
+        ladder_width: int = 1,
+        solver_warm_start: bool = False,
     ):
         if zeta <= 0:
             raise ValueError(f"zeta must be positive, got {zeta}")
+        if ladder_width < 1:
+            raise ValueError(f"ladder_width must be >= 1, got {ladder_width}")
         self.metric = metric
         self.spec = spec
         self.dimension = int(dimension or getattr(metric, "dimension"))
@@ -97,8 +113,16 @@ class SphericalGibbs:
             else self.bisect_iters + 3
         )
         self.normalize_each_sweep = bool(normalize_each_sweep)
+        self.ladder_width = int(ladder_width)
+        self.solver_warm_start = bool(solver_warm_start)
         self._normal = StandardNormal()
         self._chi = ChiDistribution(self.dimension)
+
+    def _warm_scope(self):
+        """Fresh per-run solver-state carrier, or a no-op when warm is off."""
+        if self.solver_warm_start:
+            return _warm.use_carrier(_warm.SolverStateCarrier())
+        return contextlib.nullcontext()
 
     # ------------------------------------------------------------ helpers
     @staticmethod
@@ -110,10 +134,13 @@ class SphericalGibbs:
 
     def _radius_indicator(self, alpha: np.ndarray):
         unit = self._unit(alpha)
+        hint = self.solver_warm_start
 
         def fails(values: np.ndarray) -> np.ndarray:
             values = np.atleast_1d(values)
             points = values[:, np.newaxis] * unit[np.newaxis, :]
+            if hint:
+                _warm.set_lanes(np.zeros(values.size, dtype=np.intp))
             return self.spec.indicator(self.metric(points))
 
         return fails
@@ -130,9 +157,12 @@ class SphericalGibbs:
 
     def _radius_indicator_lockstep(self, units: np.ndarray):
         """Batched radial indicator: chain ``c`` probes along ``units[c]``."""
+        hint = self.solver_warm_start
 
         def fails(chain_idx: np.ndarray, values: np.ndarray) -> np.ndarray:
             points = values[:, np.newaxis] * units[chain_idx]
+            if hint:
+                _warm.set_lanes(chain_idx)
             return self.spec.indicator(self.metric(points))
 
         return fails
@@ -141,6 +171,7 @@ class SphericalGibbs:
         self, r: np.ndarray, alpha: np.ndarray, m: int
     ):
         """Batched orientation indicator along component ``m`` per chain."""
+        hint = self.solver_warm_start
 
         def fails(chain_idx: np.ndarray, values: np.ndarray) -> np.ndarray:
             candidates = alpha[chain_idx]
@@ -152,6 +183,10 @@ class SphericalGibbs:
             safe = norms > 1e-300
             out = np.zeros(values.size, dtype=bool)
             if safe.any():
+                if hint:
+                    # Only the safe rows reach the metric, so the lane tag
+                    # must cover exactly those rows.
+                    _warm.set_lanes(chain_idx[safe])
                 # Same operation order as the scalar indicator so a C=1
                 # lockstep run stays bit-identical to the sequential path.
                 points = (
@@ -164,6 +199,8 @@ class SphericalGibbs:
         return fails
 
     def _orientation_indicator(self, r: float, alpha: np.ndarray, m: int):
+        hint = self.solver_warm_start
+
         def fails(values: np.ndarray) -> np.ndarray:
             values = np.atleast_1d(values)
             candidates = np.tile(alpha, (values.size, 1))
@@ -176,6 +213,8 @@ class SphericalGibbs:
             points = np.zeros_like(candidates)
             points[safe] = r * candidates[safe] / norms[safe, np.newaxis]
             out = np.zeros(values.size, dtype=bool)
+            if hint:
+                _warm.set_lanes(np.zeros(int(safe.sum()), dtype=np.intp))
             out[safe] = self.spec.indicator(self.metric(points[safe]))
             return out
 
@@ -209,46 +248,53 @@ class SphericalGibbs:
             raise ValueError(f"r0 must be in (0, {self.r_max}], got {r}")
 
         n_sims = 0
-        if verify_start:
-            x_start = r * self._unit(alpha)
-            failing = bool(self.spec.indicator(self.metric(x_start[np.newaxis, :]))[0])
-            n_sims += 1
-            if not failing:
-                raise ValueError("starting point is not in the failure region")
-
         scale = float(np.sqrt(self.dimension))
         samples = np.empty((n_samples, self.dimension))
         widths: List[float] = []
-        k = 0
-        coord = 0  # 0 = radius, 1..M = orientation components
-        while k < n_samples:
-            if coord == 0:
-                if self.normalize_each_sweep:
-                    # Scale redundancy of Eq. (11): x is unchanged, but the
-                    # orientation slices regain binary-search-visible width.
-                    alpha = scale * self._unit(alpha)
-                fails = self._radius_indicator(alpha)
-                new_r, interval = sample_conditional_1d(
-                    fails, current=r, base=self._chi,
-                    lo=1e-9, hi=self.r_max, rng=rng,
-                    bisect_iters=self.bisect_iters,
+        with self._warm_scope():
+            if verify_start:
+                x_start = r * self._unit(alpha)
+                if self.solver_warm_start:
+                    _warm.set_lanes(np.zeros(1, dtype=np.intp))
+                failing = bool(
+                    self.spec.indicator(self.metric(x_start[np.newaxis, :]))[0]
                 )
-                r = new_r
-            else:
-                m = coord - 1
-                current = float(np.clip(alpha[m], -self.zeta, self.zeta))
-                fails = self._orientation_indicator(r, alpha, m)
-                new_alpha_m, interval = sample_conditional_1d(
-                    fails, current=current, base=self._normal,
-                    lo=-self.zeta, hi=self.zeta, rng=rng,
-                    bisect_iters=self.alpha_bisect_iters,
-                )
-                alpha[m] = new_alpha_m
-            n_sims += interval.n_simulations
-            widths.append(interval.width)
-            samples[k] = r * self._unit(alpha)
-            k += 1
-            coord = (coord + 1) % (self.dimension + 1)
+                n_sims += 1
+                if not failing:
+                    raise ValueError("starting point is not in the failure region")
+
+            k = 0
+            coord = 0  # 0 = radius, 1..M = orientation components
+            while k < n_samples:
+                if coord == 0:
+                    if self.normalize_each_sweep:
+                        # Scale redundancy of Eq. (11): x is unchanged, but
+                        # the orientation slices regain search-visible width.
+                        alpha = scale * self._unit(alpha)
+                    fails = self._radius_indicator(alpha)
+                    new_r, interval = sample_conditional_1d(
+                        fails, current=r, base=self._chi,
+                        lo=1e-9, hi=self.r_max, rng=rng,
+                        bisect_iters=self.bisect_iters,
+                        ladder_width=self.ladder_width,
+                    )
+                    r = new_r
+                else:
+                    m = coord - 1
+                    current = float(np.clip(alpha[m], -self.zeta, self.zeta))
+                    fails = self._orientation_indicator(r, alpha, m)
+                    new_alpha_m, interval = sample_conditional_1d(
+                        fails, current=current, base=self._normal,
+                        lo=-self.zeta, hi=self.zeta, rng=rng,
+                        bisect_iters=self.alpha_bisect_iters,
+                        ladder_width=self.ladder_width,
+                    )
+                    alpha[m] = new_alpha_m
+                n_sims += interval.n_simulations
+                widths.append(interval.width)
+                samples[k] = r * self._unit(alpha)
+                k += 1
+                coord = (coord + 1) % (self.dimension + 1)
         return GibbsChain(samples=samples, n_simulations=n_sims, interval_widths=widths)
 
     def run_lockstep(
@@ -306,49 +352,54 @@ class SphericalGibbs:
             )
 
         per_chain = np.zeros(n_chains, dtype=int)
-        if verify_start:
-            x_start = r[:, np.newaxis] * self._unit_rows(alpha)
-            failing = np.asarray(
-                self.spec.indicator(self.metric(x_start)), dtype=bool
-            )
-            per_chain += 1
-            if not failing.all():
-                bad = np.flatnonzero(~failing)
-                raise ValueError(
-                    f"starting point(s) {bad.tolist()} not in the failure region"
-                )
-
         scale = float(np.sqrt(self.dimension))
         samples = np.empty((n_chains, n_samples, self.dimension))
         widths = np.empty((n_chains, n_samples))
-        coord = 0  # 0 = radius, 1..M = orientation components
-        for k in range(n_samples):
-            if coord == 0:
-                if self.normalize_each_sweep:
-                    # Scale redundancy of Eq. (11): x is unchanged, but the
-                    # orientation slices regain binary-search-visible width.
-                    alpha = scale * self._unit_rows(alpha)
-                fails = self._radius_indicator_lockstep(self._unit_rows(alpha))
-                new_r, intervals = sample_conditional_batch(
-                    fails, current=r, base=self._chi,
-                    lo=1e-9, hi=self.r_max, rng=draw_rng,
-                    bisect_iters=self.bisect_iters,
+        with self._warm_scope():
+            if verify_start:
+                x_start = r[:, np.newaxis] * self._unit_rows(alpha)
+                if self.solver_warm_start:
+                    _warm.set_lanes(np.arange(n_chains, dtype=np.intp))
+                failing = np.asarray(
+                    self.spec.indicator(self.metric(x_start)), dtype=bool
                 )
-                r = new_r
-            else:
-                m = coord - 1
-                current = np.clip(alpha[:, m], -self.zeta, self.zeta)
-                fails = self._orientation_indicator_lockstep(r, alpha, m)
-                new_alpha_m, intervals = sample_conditional_batch(
-                    fails, current=current, base=self._normal,
-                    lo=-self.zeta, hi=self.zeta, rng=draw_rng,
-                    bisect_iters=self.alpha_bisect_iters,
-                )
-                alpha[:, m] = new_alpha_m
-            per_chain += intervals.per_chain_simulations
-            widths[:, k] = intervals.widths
-            samples[:, k, :] = r[:, np.newaxis] * self._unit_rows(alpha)
-            coord = (coord + 1) % (self.dimension + 1)
+                per_chain += 1
+                if not failing.all():
+                    bad = np.flatnonzero(~failing)
+                    raise ValueError(
+                        f"starting point(s) {bad.tolist()} not in the failure region"
+                    )
+
+            coord = 0  # 0 = radius, 1..M = orientation components
+            for k in range(n_samples):
+                if coord == 0:
+                    if self.normalize_each_sweep:
+                        # Scale redundancy of Eq. (11): x is unchanged, but
+                        # the orientation slices regain search-visible width.
+                        alpha = scale * self._unit_rows(alpha)
+                    fails = self._radius_indicator_lockstep(self._unit_rows(alpha))
+                    new_r, intervals = sample_conditional_batch(
+                        fails, current=r, base=self._chi,
+                        lo=1e-9, hi=self.r_max, rng=draw_rng,
+                        bisect_iters=self.bisect_iters,
+                        ladder_width=self.ladder_width,
+                    )
+                    r = new_r
+                else:
+                    m = coord - 1
+                    current = np.clip(alpha[:, m], -self.zeta, self.zeta)
+                    fails = self._orientation_indicator_lockstep(r, alpha, m)
+                    new_alpha_m, intervals = sample_conditional_batch(
+                        fails, current=current, base=self._normal,
+                        lo=-self.zeta, hi=self.zeta, rng=draw_rng,
+                        bisect_iters=self.alpha_bisect_iters,
+                        ladder_width=self.ladder_width,
+                    )
+                    alpha[:, m] = new_alpha_m
+                per_chain += intervals.per_chain_simulations
+                widths[:, k] = intervals.widths
+                samples[:, k, :] = r[:, np.newaxis] * self._unit_rows(alpha)
+                coord = (coord + 1) % (self.dimension + 1)
         return MultiChainGibbs(
             samples=samples,
             n_simulations=int(per_chain.sum()),

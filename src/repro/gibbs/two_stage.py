@@ -222,6 +222,8 @@ def run_first_stage(
     zeta: float = 8.0,
     bisect_iters: int = 5,
     epsilon: float = 1e-2,
+    ladder_width: int = 1,
+    solver_warm_start: bool = False,
 ) -> MultiChainGibbs:
     """Fan the first-stage chains out over an executor, in chain groups.
 
@@ -275,6 +277,10 @@ def run_first_stage(
                 zeta=zeta,
                 bisect_iters=bisect_iters,
                 epsilon=epsilon,
+                sampler_options={
+                    "ladder_width": int(ladder_width),
+                    "solver_warm_start": bool(solver_warm_start),
+                },
                 shm_payloads=should_use_shm(executor, payload_bytes),
                 telemetry=_telemetry.ship_to_workers(executor),
             )
@@ -300,6 +306,8 @@ def _build_first_stage(
     epsilon: float,
     zeta: float,
     bisect_iters: int,
+    ladder_width: int,
+    solver_warm_start: bool,
     proposal_fit: str,
     mixture_components: int,
     chain_group_size: Optional[int],
@@ -337,12 +345,16 @@ def _build_first_stage(
                 sampler = CartesianGibbs(
                     counted, spec, dimension, zeta=zeta,
                     bisect_iters=bisect_iters,
+                    ladder_width=ladder_width,
+                    solver_warm_start=solver_warm_start,
                 )
                 chain = sampler.run(start.x, n_gibbs, rng)
             else:
                 sampler = SphericalGibbs(
                     counted, spec, dimension, zeta=zeta,
                     bisect_iters=bisect_iters,
+                    ladder_width=ladder_width,
+                    solver_warm_start=solver_warm_start,
                 )
                 chain = sampler.run(start.r, start.alpha, n_gibbs, rng)
         else:
@@ -356,11 +368,15 @@ def _build_first_stage(
                     seed=rng,
                     chain_group_size=chain_group_size,
                     zeta=zeta, bisect_iters=bisect_iters, epsilon=epsilon,
+                    ladder_width=ladder_width,
+                    solver_warm_start=solver_warm_start,
                 )
             elif coordinate_system == "cartesian":
                 sampler = CartesianGibbs(
                     counted, spec, dimension, zeta=zeta,
                     bisect_iters=bisect_iters,
+                    ladder_width=ladder_width,
+                    solver_warm_start=solver_warm_start,
                 )
                 chain = sampler.run_lockstep(
                     starts_x, n_gibbs, rng, verify_start=False
@@ -369,6 +385,8 @@ def _build_first_stage(
                 sampler = SphericalGibbs(
                     counted, spec, dimension, zeta=zeta,
                     bisect_iters=bisect_iters,
+                    ladder_width=ladder_width,
+                    solver_warm_start=solver_warm_start,
                 )
                 spherical = [
                     initial_spherical_coordinates(point, epsilon)
@@ -435,6 +453,8 @@ def gibbs_importance_sampling(
     epsilon: float = 1e-2,
     zeta: float = 8.0,
     bisect_iters: int = 5,
+    ladder_width: int = 1,
+    solver_warm_start: bool = False,
     proposal_fit: str = "normal",
     mixture_components: int = 3,
     qmc_second_stage: bool = False,
@@ -467,6 +487,18 @@ def gibbs_importance_sampling(
         at the same minimum-norm point.
     n_second_stage:
         N — parametric importance-sampling draws (1e3..1e4).
+    ladder_width:
+        Interval-search ladder width ``k`` for the first-stage samplers
+        (see :func:`repro.gibbs.bounds.batched_failure_interval`): the
+        default ``1`` is classic bisection and bit-identical to previous
+        releases; ``k > 1`` evaluates a ``k``-point grid per bracket side
+        per round, cutting the number of *sequential* metric calls per
+        Gibbs update at the price of more simulations.
+    solver_warm_start:
+        Seed successive interval-search Newton solves from each chain's
+        previous converged solution (:mod:`repro.circuit.warm`).  Off by
+        default; results shift only within solver tolerance (see the
+        determinism note in DESIGN.md).
     start:
         Reuse a precomputed starting point (its simulations are then *not*
         included in this result's accounting).
@@ -590,6 +622,7 @@ def gibbs_importance_sampling(
                 chain_jitter=chain_jitter, start=start,
                 doe_budget=doe_budget, surrogate_order=surrogate_order,
                 epsilon=epsilon, zeta=zeta, bisect_iters=bisect_iters,
+            ladder_width=ladder_width, solver_warm_start=solver_warm_start,
                 proposal_fit=proposal_fit,
                 mixture_components=mixture_components,
                 chain_group_size=chain_group_size,
@@ -634,6 +667,8 @@ def fit_first_stage(
     epsilon: float = 1e-2,
     zeta: float = 8.0,
     bisect_iters: int = 5,
+    ladder_width: int = 1,
+    solver_warm_start: bool = False,
     proposal_fit: str = "normal",
     mixture_components: int = 3,
     n_workers: Optional[int] = None,
@@ -677,6 +712,7 @@ def fit_first_stage(
             chain_jitter=chain_jitter, start=start,
             doe_budget=doe_budget, surrogate_order=surrogate_order,
             epsilon=epsilon, zeta=zeta, bisect_iters=bisect_iters,
+            ladder_width=ladder_width, solver_warm_start=solver_warm_start,
             proposal_fit=proposal_fit,
             mixture_components=mixture_components,
             chain_group_size=chain_group_size,

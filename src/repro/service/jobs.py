@@ -95,6 +95,8 @@ class JobRequest:
     epsilon: float = 1e-2
     zeta: float = 8.0
     bisect_iters: int = 5
+    ladder_width: int = 1
+    solver_warm_start: bool = False
     shard_size: int = 1024
     timeout: Optional[float] = None
     use_cache: bool = True
@@ -123,6 +125,10 @@ class JobRequest:
             raise ValueError(f"n_gibbs must be positive, got {self.n_gibbs}")
         if self.n_chains < 1:
             raise ValueError(f"n_chains must be positive, got {self.n_chains}")
+        if self.ladder_width < 1:
+            raise ValueError(
+                f"ladder_width must be >= 1, got {self.ladder_width}"
+            )
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive, got {self.timeout}")
 

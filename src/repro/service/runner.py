@@ -330,6 +330,8 @@ def execute_job(
                     epsilon=request.epsilon,
                     zeta=request.zeta,
                     bisect_iters=request.bisect_iters,
+                    ladder_width=request.ladder_width,
+                    solver_warm_start=request.solver_warm_start,
                     proposal_fit=request.proposal_fit,
                     executor=pool,
                 )

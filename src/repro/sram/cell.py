@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.backend import array_namespace, astype, errstate, gather_1d
 from repro.circuit.netlist import Circuit
+from repro.telemetry import context as _telemetry
 from repro.devices.mosfet import Mosfet
 from repro.devices.technology import (
     DEFAULT_GEOMETRIES,
@@ -99,7 +100,11 @@ def _solve_monotone_node(residual, lo: float, hi: float, shape,
         )
     v = xp.empty((n,), dtype=xp.float64)
     active = xp.arange(n)
+    recorder = _telemetry.get_active()
+    lane_iters = 0
     for _ in range(iterations):
+        if recorder is not None:
+            lane_iters += int(active.shape[0])
         f, dfdv = residual(v_act, active)
         done = xp.abs(f) < tol
         if bool(xp.any(done)):
@@ -126,6 +131,9 @@ def _solve_monotone_node(residual, lo: float, hi: float, shape,
         v_act = xp.where(inside, candidate, 0.5 * (lo_act + hi_act))
     if int(active.shape[0]):
         v[active] = v_act
+    if recorder is not None:
+        recorder.count("newton.lane_solves", n)
+        recorder.count("newton.lane_iters", lane_iters)
     return xp.reshape(v, shape)
 
 
@@ -265,6 +273,7 @@ class SixTransistorCell:
         bl_voltage: float,
         delta_vth: Optional[Mapping[str, np.ndarray]] = None,
         wl_voltage: Optional[float] = None,
+        v0: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Voltage transfer curve of one half-cell with its access device.
 
@@ -275,6 +284,15 @@ class SixTransistorCell:
 
         ``bl_voltage`` selects the configuration: VDD for read (both
         bitlines precharged) and 0 V for the write-driven side.
+
+        ``v0`` optionally seeds the Newton solve with a previously converged
+        VTC of matching shape (the cross-round warm start of
+        :mod:`repro.circuit.warm`), replacing the internal coarse
+        grid-continuation pass.  As with that pass, the full ``[lo, hi]``
+        bracket and tolerance are retained — a stale seed costs Newton
+        iterations, never correctness — so warm results agree with cold
+        ones to solver tolerance but are not bitwise identical.  A ``v0``
+        whose shape does not match the solve is ignored.
         """
         if side not in ("left", "right"):
             raise ValueError(f"side must be 'left' or 'right', got {side!r}")
@@ -295,6 +313,10 @@ class SixTransistorCell:
             side, vin, float(bl_voltage), wl_voltage, delta_vth, shape, xp
         )
         lo, hi = -0.2, self.vdd + 0.2
+        if v0 is not None:
+            seed = xp.asarray(v0, dtype=xp.float64)
+            if tuple(seed.shape) == shape:
+                return _solve_monotone_node(residual, lo, hi, shape, v0=seed, xp=xp)
         if n_grid < 2 * _VTC_COARSE_STRIDE:
             return _solve_monotone_node(residual, lo, hi, shape, xp=xp)
         # Grid continuation: solve every ``stride``-th input point first,

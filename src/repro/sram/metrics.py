@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.backend import get_namespace, is_numpy_namespace, to_numpy
+from repro.circuit import warm as _warm
 from repro.sram.butterfly import lobe_margins, write_margin
 from repro.sram.cell import SixTransistorCell
 from repro.sram.variation import VthMismatch
@@ -76,6 +77,12 @@ class SramMetric:
         xp = get_namespace(self.backend)
         numpy_path = is_numpy_namespace(xp)
         n = x.shape[0]
+        # Cross-round solver warm start (repro.circuit.warm): claim the
+        # per-row lane tag set by the sampler, if any, and scope each
+        # chunk's slice of it around the chunk kernel so per-solve helpers
+        # can seed/store without threading state through subclasses.
+        carrier = _warm.get_active()
+        lanes = carrier.take_lanes(n) if carrier is not None else None
         out = np.empty(n)
         for start in range(0, n, self.chunk_size):
             stop = min(start + self.chunk_size, n)
@@ -85,7 +92,14 @@ class SramMetric:
                     name: xp.asarray(d, dtype=xp.float64)
                     for name, d in deltas.items()
                 }
-            values = self._evaluate_chunk(deltas)
+            if lanes is None:
+                values = self._evaluate_chunk(deltas)
+            else:
+                carrier.begin_chunk(lanes[start:stop])
+                try:
+                    values = self._evaluate_chunk(deltas)
+                finally:
+                    carrier.end_chunk()
             out[start:stop] = values if numpy_path else to_numpy(values)
         return out
 
@@ -94,6 +108,27 @@ class SramMetric:
 
     def _evaluate_chunk(self, deltas) -> np.ndarray:
         raise NotImplementedError
+
+    def _warm_vtc(self, key, side, bl_voltage, deltas, wl_voltage=None):
+        """``half_cell_vtc`` with per-lane cross-round Newton warm seeding.
+
+        Cold path (no active carrier, or no lane tag for this batch) is a
+        plain VTC solve.  Warm path seeds the solve from the lanes' last
+        converged VTC under ``key`` and stores the new solution back.  The
+        unique-solution monotone solve keeps warm results within solver
+        tolerance of cold ones (see the warm-start note in DESIGN.md) —
+        which is why only the VTC metrics warm-start: the bistable read
+        state could be steered across basins by a seed, a beyond-tolerance
+        change, so :class:`ReadCurrentMetric` deliberately stays cold.
+        """
+        carrier = _warm.get_active()
+        v0 = carrier.chunk_seed(key) if carrier is not None else None
+        vtc = self.cell.half_cell_vtc(
+            side, self.grid, bl_voltage, deltas, wl_voltage=wl_voltage, v0=v0
+        )
+        if carrier is not None:
+            carrier.chunk_store(key, to_numpy(vtc))
+        return vtc
 
 
 class ReadNoiseMarginMetric(SramMetric):
@@ -107,8 +142,8 @@ class ReadNoiseMarginMetric(SramMetric):
 
     def _evaluate_chunk(self, deltas) -> np.ndarray:
         vdd = self.cell.vdd
-        vtc_left = self.cell.half_cell_vtc("left", self.grid, vdd, deltas)
-        vtc_right = self.cell.half_cell_vtc("right", self.grid, vdd, deltas)
+        vtc_left = self._warm_vtc("rnm-left", "left", vdd, deltas)
+        vtc_right = self._warm_vtc("rnm-right", "right", vdd, deltas)
         margin_pos, _ = lobe_margins(self.grid, vtc_left, vtc_right, self.n_lines)
         return margin_pos
 
@@ -125,8 +160,8 @@ class WriteNoiseMarginMetric(SramMetric):
     def _evaluate_chunk(self, deltas) -> np.ndarray:
         vdd = self.cell.vdd
         # Left half is write-driven (BL = 0); right half sees BLB = VDD.
-        vtc_left = self.cell.half_cell_vtc("left", self.grid, 0.0, deltas)
-        vtc_right = self.cell.half_cell_vtc("right", self.grid, vdd, deltas)
+        vtc_left = self._warm_vtc("wnm-left", "left", 0.0, deltas)
+        vtc_right = self._warm_vtc("wnm-right", "right", vdd, deltas)
         return write_margin(self.grid, vtc_left, vtc_right)
 
 
@@ -148,12 +183,8 @@ class HoldNoiseMarginMetric(SramMetric):
 
     def _evaluate_chunk(self, deltas) -> np.ndarray:
         vdd = self.cell.vdd
-        vtc_left = self.cell.half_cell_vtc(
-            "left", self.grid, vdd, deltas, wl_voltage=0.0
-        )
-        vtc_right = self.cell.half_cell_vtc(
-            "right", self.grid, vdd, deltas, wl_voltage=0.0
-        )
+        vtc_left = self._warm_vtc("hold-left", "left", vdd, deltas, wl_voltage=0.0)
+        vtc_right = self._warm_vtc("hold-right", "right", vdd, deltas, wl_voltage=0.0)
         margin_pos, _ = lobe_margins(self.grid, vtc_left, vtc_right, self.n_lines)
         return margin_pos
 

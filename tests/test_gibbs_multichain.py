@@ -55,9 +55,11 @@ def interval_problems(draw):
 
 
 class TestBatchedSearchParity:
-    @given(interval_problems(), st.integers(1, 8))
+    @given(interval_problems(), st.integers(1, 8), st.integers(1, 4))
     @settings(max_examples=60, deadline=None)
-    def test_matches_scalar_search_per_chain(self, problem, bisect_iters):
+    def test_matches_scalar_search_per_chain(
+        self, problem, bisect_iters, ladder_width
+    ):
         regions, currents = problem
 
         def scalar_fails(c):
@@ -71,12 +73,12 @@ class TestBatchedSearchParity:
 
         batched = batched_failure_interval(
             batched_fails, np.array(currents), -ZETA, ZETA,
-            bisect_iters=bisect_iters,
+            bisect_iters=bisect_iters, ladder_width=ladder_width,
         )
         for c, current in enumerate(currents):
             scalar = failure_interval(
                 scalar_fails(c), current, -ZETA, ZETA,
-                bisect_iters=bisect_iters,
+                bisect_iters=bisect_iters, ladder_width=ladder_width,
             )
             # Bitwise equality: the bisection arithmetic is identical.
             assert batched.lower[c] == scalar.lower
