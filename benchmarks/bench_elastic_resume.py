@@ -1,0 +1,219 @@
+"""Elastic golden MC: checkpointed kill/resume economics + socket smoke.
+
+The golden brute-force Monte Carlo is the most expensive artifact in the
+reproduction, so PR 9 made it killable: every completed shard lands in an
+append-only JSONL ledger (``repro.parallel.ledger``), and a rerun with the
+same run key replays ledger rows instead of re-simulating them.
+
+This bench quantifies the contract:
+
+* run the checkpointed golden MC to completion, then truncate the ledger
+  to ~50 % and ~90 % of its rows — simulating a kill at those points —
+  and resume.  A :class:`~repro.mc.counter.CountedMetric` proves the
+  resumed run executes *exactly* the missing shards (``sims saved`` is
+  exact, not approximate), and the merged result is required to be
+  bit-identical to the uncheckpointed reference;
+* drive the same workload through the socket transport
+  (``backend="remote"``, two localhost workers) and record per-shard
+  dispatch overhead plus the per-worker host records.
+
+Headline numbers land in ``BENCH_elastic_resume.json`` at the repository
+root.
+"""
+
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks._shared import bench_metadata, problem, scaled, write_report
+from repro.analysis.tables import format_table
+from repro.mc.counter import CountedMetric
+from repro.mc.montecarlo import brute_force_monte_carlo
+from repro.parallel import ParallelExecutor, run_worker
+
+JSON_PATH = Path(__file__).parent.parent / "BENCH_elastic_resume.json"
+
+#: Kill points, as fractions of completed shards surviving in the ledger.
+KILL_FRACTIONS = (0.5, 0.9)
+
+
+def _truncate_ledger(checkpoint_dir: Path, fraction: float) -> int:
+    """Keep the header plus the first ``fraction`` of shard rows.
+
+    Mimics a run killed mid-flight: the ledger is append-only with one
+    fsync'd line per completed shard, so a kill leaves exactly a prefix
+    (possibly plus one torn line, which the loader drops anyway).
+    Returns the number of surviving shard rows.
+    """
+    (path,) = checkpoint_dir.glob("mc-*.jsonl")
+    lines = path.read_text().splitlines()
+    header, rows = lines[0], lines[1:]
+    keep = int(len(rows) * fraction)
+    path.write_text("\n".join([header] + rows[:keep]) + "\n")
+    return keep
+
+
+def run():
+    prob = problem("rnm")
+    n_samples = scaled(40_000, 4_000)
+    shard_size = max(n_samples // 32, 500)
+    n_shards = -(-n_samples // shard_size)
+    mc_kwargs = dict(
+        dimension=prob.dimension, rng=2011,
+        shard_size=shard_size, chunk_size=shard_size,
+    )
+
+    # Uncheckpointed reference: the numbers every resumed run must hit.
+    t0 = time.perf_counter()
+    reference = brute_force_monte_carlo(
+        prob.metric, prob.spec, n_samples,
+        n_workers=2, backend="thread", **mc_kwargs,
+    )
+    full_run_s = time.perf_counter() - t0
+
+    resume_records = []
+    for fraction in KILL_FRACTIONS:
+        with tempfile.TemporaryDirectory() as tmp:
+            checkpoint_dir = Path(tmp)
+            # Full checkpointed run, then truncate the ledger to simulate
+            # a kill once `fraction` of the shards had been fsync'd.
+            brute_force_monte_carlo(
+                prob.metric, prob.spec, n_samples,
+                n_workers=2, backend="thread",
+                checkpoint_dir=checkpoint_dir, **mc_kwargs,
+            )
+            kept = _truncate_ledger(checkpoint_dir, fraction)
+
+            counted = CountedMetric(prob.metric, prob.dimension)
+            t0 = time.perf_counter()
+            resumed = brute_force_monte_carlo(
+                counted, prob.spec, n_samples,
+                n_workers=2, backend="thread",
+                checkpoint_dir=checkpoint_dir, **mc_kwargs,
+            )
+            resume_s = time.perf_counter() - t0
+
+        ledger = resumed.extras["resume"]
+        # Exact-resume contract: only the missing shards simulate.
+        assert ledger["shards_replayed"] == kept
+        assert ledger["shards_executed"] == n_shards - kept
+        assert counted.count == (n_shards - kept) * shard_size, (
+            f"resume after {fraction:.0%} kill ran {counted.count} sims, "
+            f"expected exactly {(n_shards - kept) * shard_size}"
+        )
+        # Bit-identity contract: replay + fresh shards merge to the
+        # uncheckpointed reference, estimate, count and trace alike.
+        assert resumed.failure_probability == reference.failure_probability
+        assert (
+            resumed.extras["n_failures"] == reference.extras["n_failures"]
+        )
+        np.testing.assert_array_equal(
+            resumed.trace.estimate, reference.trace.estimate
+        )
+        resume_records.append({
+            "kill_fraction": fraction,
+            "shards_replayed": kept,
+            "shards_executed": n_shards - kept,
+            "sims_replayed": ledger["sims_replayed"],
+            "sims_executed": int(counted.count),
+            "sims_saved": n_samples - int(counted.count),
+            "resume_elapsed_s": resume_s,
+            "full_run_elapsed_s": full_run_s,
+            "bit_identical": True,
+        })
+
+    # Socket smoke: the same golden run over backend="remote" with two
+    # localhost workers, recording per-shard dispatch overhead.
+    with ParallelExecutor(
+        backend="remote", min_workers=2, heartbeat=1.0
+    ) as pool:
+        host, port = pool.address
+        workers = [
+            threading.Thread(
+                target=run_worker, args=(host, port), daemon=True
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        t0 = time.perf_counter()
+        remote = brute_force_monte_carlo(
+            prob.metric, prob.spec, n_samples, executor=pool, **mc_kwargs,
+        )
+        remote_s = time.perf_counter() - t0
+        overhead = pool.dispatch_overhead_s
+    for worker in workers:
+        worker.join(timeout=10)
+
+    assert remote.failure_probability == reference.failure_probability
+    np.testing.assert_array_equal(
+        remote.trace.estimate, reference.trace.estimate
+    )
+    worker_hosts = remote.extras["worker_hosts"]
+    assert sum(h["n_shards"] for h in worker_hosts) == n_shards
+    socket_record = {
+        "n_workers": 2,
+        "elapsed_s": remote_s,
+        "n_shards": n_shards,
+        "dispatch_overhead_mean_s": float(np.mean(overhead)),
+        "dispatch_overhead_max_s": float(np.max(overhead)),
+        "workers": [
+            {
+                "hostname": h.get("hostname"),
+                "pid": h.get("pid"),
+                "cpu_count": h.get("cpu_count"),
+                "n_shards": h["n_shards"],
+            }
+            for h in worker_hosts
+        ],
+        "bit_identical": True,
+    }
+
+    payload = {
+        "environment": bench_metadata(),
+        "problem": "rnm (read noise margin, M = 6)",
+        "n_samples": n_samples,
+        "shard_size": shard_size,
+        "n_shards": n_shards,
+        "full_run_elapsed_s": full_run_s,
+        "resume_records": resume_records,
+        "socket_smoke": socket_record,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        [
+            f"{r['kill_fraction']:.0%}", r["shards_replayed"],
+            r["shards_executed"], r["sims_saved"],
+            f"{r['resume_elapsed_s']:.2f}",
+        ]
+        for r in resume_records
+    ]
+    report = (
+        f"golden MC, rnm, N = {n_samples}, shard_size = {shard_size} "
+        f"({n_shards} shards), full run {full_run_s:.2f}s:\n"
+        + format_table(
+            ["killed at", "replayed", "executed", "sims saved", "time [s]"],
+            rows,
+        )
+        + "\n\nresumed estimates, failure counts and traces bit-identical "
+        "to the uncheckpointed reference: yes\n"
+        f"socket smoke (2 localhost workers): {remote_s:.2f}s, "
+        f"dispatch overhead mean "
+        f"{socket_record['dispatch_overhead_mean_s'] * 1e3:.2f}ms / max "
+        f"{socket_record['dispatch_overhead_max_s'] * 1e3:.2f}ms per shard\n"
+        f"JSON record: {JSON_PATH.name}"
+    )
+    write_report("elastic_resume", report)
+
+
+def test_elastic_resume(benchmark):
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    run()

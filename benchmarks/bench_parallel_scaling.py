@@ -70,6 +70,18 @@ def run():
             "estimate": result.failure_probability,
             "n_failures": result.extras["n_failures"],
             "n_shards": result.extras["n_shards"],
+            # One record per worker process that computed shards, with
+            # its host stamp — scaling numbers are only comparable when
+            # the workers actually landed on the machine they claim.
+            "workers": [
+                {
+                    "hostname": h.get("hostname"),
+                    "pid": h.get("pid"),
+                    "cpu_count": h.get("cpu_count"),
+                    "n_shards": h["n_shards"],
+                }
+                for h in result.extras["worker_hosts"]
+            ],
         })
     for record in mc_records:
         record["speedup_vs_1"] = mc_records[0]["elapsed_s"] / record["elapsed_s"]

@@ -121,6 +121,8 @@ def mixture_importance_sampling(
     backend: str = "process",
     shard_size=8192,
     executor=None,
+    checkpoint_dir=None,
+    resume: bool = True,
 ) -> EstimationResult:
     """Run the full MIS flow and return its estimate.
 
@@ -169,4 +171,6 @@ def mixture_importance_sampling(
         backend=backend,
         shard_size=shard_size,
         executor=executor,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )

@@ -41,6 +41,8 @@ def minimum_norm_importance_sampling(
     backend: str = "process",
     shard_size=8192,
     executor=None,
+    checkpoint_dir=None,
+    resume: bool = True,
 ) -> EstimationResult:
     """Run the full MNIS flow and return its estimate.
 
@@ -80,4 +82,6 @@ def minimum_norm_importance_sampling(
         backend=backend,
         shard_size=shard_size,
         executor=executor,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )

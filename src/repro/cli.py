@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the common workflows without writing any Python:
+Seven commands cover the common workflows without writing any Python:
 
 * ``estimate`` — run one method on a built-in problem::
 
@@ -28,6 +28,12 @@ Six commands cover the common workflows without writing any Python:
 * ``jobs`` — list a running service's jobs with cache accounting::
 
       python -m repro jobs --url http://127.0.0.1:8642
+
+* ``worker`` — join a remote-backend coordinator (an ``estimate
+  --backend remote`` run) and execute shards until drained
+  (trusted networks only; see ``docs/ELASTIC.md``)::
+
+      python -m repro worker --connect 127.0.0.1:7341 --retries 30
 
 An interrupted run (SIGINT) exits with status 130 after the parallel
 layer has cancelled queued shards and joined its worker processes — no
@@ -113,6 +119,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "stage always, and the first-stage chains "
                             "when --n-chains > 1; results depend on the "
                             "seed only, not the worker count")
+        p.add_argument("--shard-size", type=int, default=None,
+                       help="samples per shard on the sharded path "
+                            "(default: per-method; the shard grid is part "
+                            "of the run identity, so a ledger resume must "
+                            "reuse the original value)")
+        p.add_argument("--backend",
+                       choices=("serial", "thread", "process", "remote"),
+                       default="process",
+                       help="sharded-path backend (with --workers); "
+                            "'remote' dispatches shards to `repro worker` "
+                            "processes over the socket transport "
+                            "(trusted networks only, see docs/ELASTIC.md)")
+        p.add_argument("--listen", metavar="HOST:PORT", default=None,
+                       help="remote backend only: address the coordinator "
+                            "binds for workers to connect to "
+                            "(default: 127.0.0.1 with an OS-picked port, "
+                            "logged at startup)")
+        p.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="persist completed shards to append-only "
+                            "ledgers in DIR (sharded path only); a killed "
+                            "run re-invoked with the same arguments "
+                            "resumes bit-identically, re-running only the "
+                            "missing shards (see docs/ELASTIC.md)")
+        p.add_argument("--resume", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="with --checkpoint-dir: replay a matching "
+                            "ledger (default); --no-resume truncates it "
+                            "and starts over")
         p.add_argument("--adaptive-shards", action="store_true",
                        help="size shards and chain groups from a "
                             "metric-throughput probe (requires --workers); "
@@ -222,6 +256,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     lst = sub.add_parser("jobs", help="list a running service's jobs")
     add_client(lst)
+
+    wrk = sub.add_parser(
+        "worker",
+        help="join a remote-backend coordinator and execute shards "
+             "(see docs/ELASTIC.md; trusted networks only)",
+    )
+    wrk.add_argument("--connect", metavar="HOST:PORT", required=True,
+                     help="coordinator address (the estimate side's "
+                          "--listen / logged address)")
+    wrk.add_argument("--heartbeat", type=float, default=None,
+                     help="liveness beat interval in seconds "
+                          "(default: the coordinator's)")
+    wrk.add_argument("--retries", type=int, default=0,
+                     help="connection attempts before giving up "
+                          "(for workers started before the coordinator)")
+    wrk.add_argument("--retry-delay", type=float, default=1.0,
+                     help="seconds between connection attempts")
+    wrk.add_argument("--log-json", action="store_true",
+                     help="emit stderr diagnostics as one JSON object "
+                          "per line")
     return parser
 
 
@@ -276,6 +330,14 @@ def _print_verbose_extras(result) -> None:
     diagnostics = result.extras.get("chain_diagnostics")
     if diagnostics is not None:
         logs.info(f"chain mixing: {diagnostics.summary()}")
+    resumed = result.extras.get("resume")
+    if resumed is not None:
+        logs.info(
+            f"elastic ledger {resumed.get('path')}: "
+            f"{resumed.get('shards_replayed', 0)} shard(s) replayed, "
+            f"{resumed.get('shards_executed', 0)} executed "
+            f"({resumed.get('sims_replayed', 0)} simulations saved)"
+        )
     adaptive = result.extras.get("adaptive_sharding")
     if adaptive is not None:
         probe = adaptive["probe"]
@@ -345,18 +407,48 @@ def _cmd_estimate(args) -> int:
     if adaptive is None:
         return 2
     first_stage = _first_stage_kwargs(args, args.method)
+    elastic = {}
+    if args.shard_size is not None:
+        if args.adaptive_shards:
+            logs.error("--shard-size conflicts with --adaptive-shards")
+            return 2
+        elastic["shard_size"] = args.shard_size
+    if args.checkpoint_dir is not None:
+        if args.workers is None and args.backend != "remote":
+            logs.error(
+                "--checkpoint-dir persists the sharded path's shards; "
+                "it requires --workers (or --backend remote)"
+            )
+            return 2
+        elastic.update(checkpoint_dir=args.checkpoint_dir,
+                       resume=args.resume)
+    pool = None
+    if args.backend == "remote":
+        # The coordinator binds on __enter__; log the address so
+        # `repro worker --connect` invocations know where to join.
+        from repro.parallel.executor import ParallelExecutor
+
+        pool = ParallelExecutor(
+            n_workers=args.workers, backend="remote",
+            listen=args.listen, min_workers=args.workers or 1,
+        )
     recorder = _run_recorder(args)
     with (
         telemetry.activate(recorder)
         if recorder is not None
         else contextlib.nullcontext()
-    ):
+    ), (pool if pool is not None else contextlib.nullcontext()):
+        if pool is not None:
+            host, port = pool.address
+            logs.info(f"remote coordinator listening on {host}:{port}; "
+                      f"waiting for {pool.min_workers} worker(s)")
         result = run_method(
             args.method, problem, rng=args.seed,
             n_second_stage=args.n_second, n_gibbs=args.n_gibbs,
             n_chains=args.n_chains,
             doe_budget=args.doe_budget, n_workers=args.workers,
-            **adaptive, **first_stage,
+            backend=args.backend, executor=pool,
+            **adaptive, **first_stage, **elastic,
         )
         if recorder is not None:
             record = result.extras.get("adaptive_sharding")
@@ -385,6 +477,22 @@ def _cmd_compare(args) -> int:
             "--adaptive-shards is ignored by compare "
             "(use `estimate` with a Gibbs method)"
         )
+    if args.checkpoint_dir is not None:
+        logs.warning(
+            "--checkpoint-dir is ignored by compare "
+            "(shard ledgers are an `estimate` feature)"
+        )
+    if args.shard_size is not None:
+        logs.warning(
+            "--shard-size is ignored by compare "
+            "(per-method sizing is an `estimate` feature)"
+        )
+    if args.backend == "remote":
+        logs.error(
+            "--backend remote shards one estimate over socket workers; "
+            "compare runs a method panel (use `estimate`)"
+        )
+        return 2
     first_stage = _first_stage_kwargs(args, args.methods)
     recorder = _run_recorder(args)
     with (
@@ -394,7 +502,7 @@ def _cmd_compare(args) -> int:
     ):
         results = compare_methods(
             problem, methods=tuple(args.methods), seed=args.seed,
-            n_workers=args.workers,
+            n_workers=args.workers, backend=args.backend,
             n_second_stage=args.n_second, n_gibbs=args.n_gibbs,
             n_chains=args.n_chains,
             doe_budget=args.doe_budget,
@@ -547,6 +655,21 @@ def _cmd_jobs(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    from repro.parallel.remote import parse_address, run_worker
+
+    host, port = parse_address(args.connect)
+    logs.info(f"joining coordinator at {host}:{port}")
+    completed = run_worker(
+        host, port,
+        heartbeat=args.heartbeat,
+        retries=args.retries,
+        retry_delay=args.retry_delay,
+    )
+    logs.info(f"worker done: {completed} shard(s) executed")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     logs.configure_cli_logging(json_mode=getattr(args, "log_json", False))
@@ -557,6 +680,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
+        "worker": _cmd_worker,
     }
     try:
         return handlers[args.command](args)

@@ -36,6 +36,7 @@ a metric-throughput probe (``chain_group_size="adaptive"``).
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Union
@@ -57,6 +58,7 @@ from repro.parallel.adaptive import (
     probe_metric_cost,
 )
 from repro.parallel.executor import ParallelExecutor, resolve_executor
+from repro.parallel.ledger import open_ledger, seed_key
 from repro.parallel.sharding import merge_chain_shards, plan_shards
 from repro.parallel.transport import should_use_shm
 from repro.parallel.workers import (
@@ -68,7 +70,12 @@ from repro.stats.mixture import GaussianMixture
 from repro.stats.mvnormal import MultivariateNormal
 from repro.stats.qmc import QMCNormal
 from repro.telemetry import context as _telemetry
-from repro.utils.rng import SeedLike, ensure_rng, spawn_seed_sequences
+from repro.utils.rng import (
+    SeedLike,
+    as_seed_sequence,
+    ensure_rng,
+    spawn_seed_sequences,
+)
 
 #: Method labels used throughout the experiment harness and the paper.
 LABELS = {"cartesian": "G-C", "spherical": "G-S"}
@@ -224,6 +231,8 @@ def run_first_stage(
     epsilon: float = 1e-2,
     ladder_width: int = 1,
     solver_warm_start: bool = False,
+    checkpoint_dir=None,
+    resume: bool = True,
 ) -> MultiChainGibbs:
     """Fan the first-stage chains out over an executor, in chain groups.
 
@@ -253,12 +262,24 @@ def run_first_stage(
         generator draws one integer from it (see ``as_seed_sequence``), so
         the chain streams are pinned by the flow's seed exactly once,
         before any grouping decision.
+    checkpoint_dir:
+        Persist every completed chain-group shard to an append-only
+        ledger (``repro-ledger-v1``) keyed by the full first-stage
+        configuration, including the *grid* (``chain_group_size``); a
+        killed run re-invoked with the same inputs replays the persisted
+        groups and re-runs only the missing ones, bit-identically.  Shm
+        transport is disabled on checkpointed runs (rows must be
+        self-contained).
+    resume:
+        With ``checkpoint_dir``: replay an existing matching ledger
+        (default); ``False`` truncates it first.
     """
     starts = np.atleast_2d(np.asarray(starts, dtype=float))
     n_chains, dimension = starts.shape
     if chain_group_size is None:
         chain_group_size = -(-n_chains // executor.n_workers)
-    chain_seeds = spawn_seed_sequences(seed, n_chains)
+    root = as_seed_sequence(seed)
+    chain_seeds = spawn_seed_sequences(root, n_chains)
     shards = plan_shards(n_chains, int(chain_group_size))
     tasks = []
     for shard in shards:
@@ -281,13 +302,52 @@ def run_first_stage(
                     "ladder_width": int(ladder_width),
                     "solver_warm_start": bool(solver_warm_start),
                 },
-                shm_payloads=should_use_shm(executor, payload_bytes),
+                shm_payloads=(
+                    checkpoint_dir is None
+                    and should_use_shm(executor, payload_bytes)
+                ),
                 telemetry=_telemetry.ship_to_workers(executor),
             )
         )
-    results = executor.map(run_gibbs_shard, tasks)
-    fold_external_counts(metric, executor, results)
-    return merge_chain_shards(results, n_chains)
+    ledger = None
+    replayed = []
+    if checkpoint_dir is not None:
+        starts_digest = hashlib.sha256(
+            np.ascontiguousarray(starts).tobytes()
+        ).hexdigest()
+        ledger = open_ledger(
+            checkpoint_dir,
+            "gibbs",
+            {
+                "n_chains": int(n_chains),
+                "chain_group_size": int(chain_group_size),
+                "n_gibbs": int(n_gibbs),
+                "coordinate_system": str(coordinate_system),
+                "dimension": int(dimension),
+                "zeta": float(zeta),
+                "bisect_iters": int(bisect_iters),
+                "epsilon": float(epsilon),
+                "ladder_width": int(ladder_width),
+                "solver_warm_start": bool(solver_warm_start),
+                "starts": starts_digest,
+                "seed": seed_key(root),
+            },
+            resume=resume,
+        )
+        replayed, tasks = ledger.split(tasks)
+    try:
+        results = executor.map(
+            run_gibbs_shard,
+            tasks,
+            on_result=ledger.record if ledger is not None else None,
+        )
+        fold_external_counts(metric, executor, results)
+        if ledger is not None:
+            _telemetry.fold_replayed_records(ledger.replayed_telemetry())
+    finally:
+        if ledger is not None:
+            ledger.close()
+    return merge_chain_shards(replayed + results, n_chains)
 
 
 def _build_first_stage(
@@ -312,6 +372,8 @@ def _build_first_stage(
     mixture_components: int,
     chain_group_size: Optional[int],
     stage1_start: int,
+    checkpoint_dir=None,
+    resume: bool = True,
 ) -> FirstStageArtifact:
     """Run the complete first stage and package it as a reusable artifact.
 
@@ -370,6 +432,7 @@ def _build_first_stage(
                     zeta=zeta, bisect_iters=bisect_iters, epsilon=epsilon,
                     ladder_width=ladder_width,
                     solver_warm_start=solver_warm_start,
+                    checkpoint_dir=checkpoint_dir, resume=resume,
                 )
             elif coordinate_system == "cartesian":
                 sampler = CartesianGibbs(
@@ -465,6 +528,8 @@ def gibbs_importance_sampling(
     shard_size: Union[int, str] = 8192,
     first_stage: Optional[FirstStageArtifact] = None,
     executor: Optional[ParallelExecutor] = None,
+    checkpoint_dir=None,
+    resume: bool = True,
 ) -> EstimationResult:
     """Run the full G-C / G-S failure-rate prediction flow.
 
@@ -546,6 +611,16 @@ def gibbs_importance_sampling(
     executor:
         Prebuilt :class:`~repro.parallel.ParallelExecutor` (e.g. the yield
         service's persistent pool); overrides ``n_workers``/``backend``.
+    checkpoint_dir:
+        Persist the sharded stages' completed shards to append-only
+        ledgers in this directory (``repro-ledger-v1``): the first-stage
+        chain groups (parallel multi-chain path) and the second-stage
+        weight shards each get their own keyed ledger, so a killed run
+        resumes bit-identically, paying only for missing shards.  Only
+        effective on the sharded paths (``n_workers``/``executor`` set).
+    resume:
+        With ``checkpoint_dir``: replay matching ledgers (default);
+        ``False`` truncates them and reruns everything.
 
     Returns
     -------
@@ -627,6 +702,7 @@ def gibbs_importance_sampling(
                 mixture_components=mixture_components,
                 chain_group_size=chain_group_size,
                 stage1_start=stage1_start,
+                checkpoint_dir=checkpoint_dir, resume=resume,
             )
             proposal = artifact.proposal
             extras = artifact.extras
@@ -649,6 +725,8 @@ def gibbs_importance_sampling(
             extras=extras,
             executor=pool,
             shard_size=int(shard_size),
+            checkpoint_dir=checkpoint_dir if pool is not None else None,
+            resume=resume,
         )
 
 
@@ -675,6 +753,8 @@ def fit_first_stage(
     backend: str = "process",
     chain_group_size: Optional[int] = None,
     executor: Optional[ParallelExecutor] = None,
+    checkpoint_dir=None,
+    resume: bool = True,
 ) -> FirstStageArtifact:
     """Run only the expensive first stage and return its reusable artifact.
 
@@ -717,4 +797,5 @@ def fit_first_stage(
             mixture_components=mixture_components,
             chain_group_size=chain_group_size,
             stage1_start=stage1_start,
+            checkpoint_dir=checkpoint_dir, resume=resume,
         )

@@ -23,13 +23,19 @@ from repro.mc.indicator import FailureSpec
 from repro.mc.results import ConvergenceTrace, EstimationResult
 from repro.parallel.adaptive import adaptive_shard_size, probe_metric_cost
 from repro.parallel.executor import ParallelExecutor, resolve_executor
+from repro.parallel.ledger import open_ledger, proposal_fingerprint, seed_key
 from repro.parallel.sharding import plan_shards
 from repro.parallel.transport import should_use_shm, unpack_array
 from repro.parallel.workers import ISShardTask, fold_external_counts, run_is_shard
 from repro.stats.confidence import relative_error
 from repro.stats.mvnormal import MultivariateNormal
 from repro.telemetry import context as _telemetry
-from repro.utils.rng import SeedLike, ensure_rng, spawn_seed_sequences
+from repro.utils.rng import (
+    SeedLike,
+    as_seed_sequence,
+    ensure_rng,
+    spawn_seed_sequences,
+)
 
 
 def importance_weights(
@@ -63,6 +69,8 @@ def _sharded_second_stage(
     shard_size: int,
     store_samples: bool,
     dimension: int,
+    checkpoint_dir=None,
+    resume: bool = True,
 ):
     """Fan the second stage out in shards; merge weights in sample order.
 
@@ -75,12 +83,22 @@ def _sharded_second_stage(
     Stored sample arrays ride home through shared memory rather than the
     result pickle when the executor crosses process boundaries and the
     shard payload is large enough (:func:`should_use_shm`); transport
-    never changes the numbers, only the copy cost.
+    never changes the numbers, only the copy cost.  A checkpoint ledger
+    forces the pickle path instead — persisted rows must be
+    self-contained — and, because spawn children are prefix-stable, the
+    run key deliberately omits ``n_samples``: a later run with a larger
+    budget extends the same ledger, replaying every full shard it already
+    paid for.
     """
     shards = plan_shards(n_samples, shard_size)
-    seeds = spawn_seed_sequences(seed, len(shards))
-    shm_payloads = store_samples and should_use_shm(
-        executor, shard_size * dimension * 8
+    root = as_seed_sequence(seed)
+    seeds = spawn_seed_sequences(root, len(shards))
+    ledger = None
+    replayed = []
+    shm_payloads = (
+        store_samples
+        and checkpoint_dir is None
+        and should_use_shm(executor, shard_size * dimension * 8)
     )
     ship_telemetry = _telemetry.ship_to_workers(executor)
     tasks = [
@@ -97,8 +115,44 @@ def _sharded_second_stage(
         )
         for shard, child in zip(shards, seeds)
     ]
-    results = executor.map(run_is_shard, tasks)
-    fold_external_counts(metric, executor, results)
+    if checkpoint_dir is not None:
+        ledger = open_ledger(
+            checkpoint_dir,
+            "is",
+            {
+                "shard_size": int(shard_size),
+                "dimension": int(dimension),
+                "store_samples": bool(store_samples),
+                "proposal": proposal_fingerprint(proposal),
+                "seed": seed_key(root),
+            },
+            resume=resume,
+        )
+        replayed, tasks = ledger.split(tasks)
+    try:
+        results = executor.map(
+            run_is_shard,
+            tasks,
+            on_result=ledger.record if ledger is not None else None,
+        )
+        fold_external_counts(metric, executor, results)
+        if ledger is not None:
+            _telemetry.fold_replayed_records(ledger.replayed_telemetry())
+    finally:
+        if ledger is not None:
+            ledger.close()
+    resume_record = (
+        None
+        if ledger is None
+        else dict(
+            ledger.summary(),
+            shards_total=len(shards),
+            shards_executed=len(results),
+            sims_replayed=int(sum(r.n_sims for r in replayed)),
+            sims_executed=int(sum(r.n_sims for r in results)),
+        )
+    )
+    results = replayed + results
     # Shard draws never moved the parent's sequence position (each worker
     # fast-forwards a private copy); advance it once so the instance keeps
     # its never-reuse-points contract, exactly as the serial path would.
@@ -115,7 +169,7 @@ def _sharded_second_stage(
         else None
     )
     n_failures = sum(r.n_failures for r in results)
-    return weights, x, fail, n_failures
+    return weights, x, fail, n_failures, resume_record
 
 
 def importance_sampling_estimate(
@@ -134,6 +188,8 @@ def importance_sampling_estimate(
     backend: str = "process",
     shard_size: Union[int, str] = 8192,
     executor: Optional[ParallelExecutor] = None,
+    checkpoint_dir=None,
+    resume: bool = True,
 ) -> EstimationResult:
     """Run the second stage: sample ``proposal``, weight, estimate.
 
@@ -169,6 +225,15 @@ def importance_sampling_estimate(
     executor:
         Prebuilt :class:`~repro.parallel.ParallelExecutor`; overrides
         ``n_workers``/``backend``.
+    checkpoint_dir:
+        Sharded path only: persist completed weight shards to an
+        append-only ledger (``repro-ledger-v1``) so a killed second stage
+        resumes bit-identically, re-running only missing shards.  The
+        ledger key omits ``n_samples`` — spawn children are prefix-stable
+        — so a later, larger-budget run extends the same ledger.
+    resume:
+        With ``checkpoint_dir``: replay an existing matching ledger
+        (default); ``False`` truncates it first.
     """
     if n_samples < 2:
         raise ValueError(f"n_samples must be >= 2, got {n_samples}")
@@ -211,11 +276,20 @@ def importance_sampling_estimate(
                     "schedule-dependent points. Run with n_workers=None or add "
                     "sample_shard to the proposal."
                 )
-            weights, x, fail, n_failures = _sharded_second_stage(
-                metric, spec, proposal, nominal, n_samples, rng, pool,
-                int(shard_size), store_samples, int(dimension),
+            weights, x, fail, n_failures, resume_record = (
+                _sharded_second_stage(
+                    metric, spec, proposal, nominal, n_samples, rng, pool,
+                    int(shard_size), store_samples, int(dimension),
+                    checkpoint_dir=checkpoint_dir, resume=resume,
+                )
             )
         else:
+            if checkpoint_dir is not None:
+                raise ValueError(
+                    "checkpoint_dir requires the sharded path; pass "
+                    "n_workers (or an executor) to enable it"
+                )
+            resume_record = None
             rng = ensure_rng(rng)
             x = proposal.sample(n_samples, rng)
             fail = spec.indicator(metric(x))
@@ -227,6 +301,8 @@ def importance_sampling_estimate(
     result_extras = dict(extras or {})
     if adaptive_record is not None:
         result_extras["adaptive_sharding"] = adaptive_record
+    if resume_record is not None:
+        result_extras["resume"] = resume_record
     result_extras["proposal"] = proposal
     result_extras["n_failures"] = int(n_failures)
     if store_samples:

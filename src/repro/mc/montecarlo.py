@@ -24,11 +24,22 @@ import numpy as np
 from repro.mc.indicator import FailureSpec
 from repro.mc.results import ConvergenceTrace, EstimationResult
 from repro.parallel.executor import ParallelExecutor, resolve_executor
+from repro.parallel.ledger import open_ledger, seed_key
 from repro.parallel.sharding import checkpoint_grid, merge_mc_shards, plan_shards
-from repro.parallel.workers import MCShardTask, fold_external_counts, run_mc_shard
+from repro.parallel.workers import (
+    MCShardTask,
+    distinct_hosts,
+    fold_external_counts,
+    run_mc_shard,
+)
 from repro.stats.confidence import montecarlo_relative_error
 from repro.telemetry import context as _telemetry
-from repro.utils.rng import SeedLike, ensure_rng, spawn_seed_sequences
+from repro.utils.rng import (
+    SeedLike,
+    as_seed_sequence,
+    ensure_rng,
+    spawn_seed_sequences,
+)
 
 
 def _sharded_monte_carlo(
@@ -41,11 +52,22 @@ def _sharded_monte_carlo(
     chunk_size: int,
     trace_points: int,
     shard_size: Optional[int],
+    checkpoint_dir=None,
+    resume: bool = True,
 ) -> EstimationResult:
-    """Sharded MC path: fixed shard grid, per-shard streams, exact merge."""
+    """Sharded MC path: fixed shard grid, per-shard streams, exact merge.
+
+    With ``checkpoint_dir`` set, every completed shard result is appended
+    (fsync'd) to a :class:`~repro.parallel.ledger.ShardLedger` as it
+    lands, and a re-invocation with the same inputs replays the persisted
+    shards instead of re-simulating them — the merged result is
+    bit-identical either way, and the metric is only charged for the
+    shards that actually ran.
+    """
     shard_size = chunk_size if shard_size is None else int(shard_size)
     shards = plan_shards(n_samples, shard_size)
-    seeds = spawn_seed_sequences(seed, len(shards))
+    root = as_seed_sequence(seed)
+    seeds = spawn_seed_sequences(root, len(shards))
     checkpoints = checkpoint_grid(n_samples, trace_points)
     ship_telemetry = _telemetry.ship_to_workers(executor)
     tasks = [
@@ -61,10 +83,61 @@ def _sharded_monte_carlo(
         )
         for shard, child in zip(shards, seeds)
     ]
-    results = executor.map(run_mc_shard, tasks)
-    fold_external_counts(metric, executor, results)
-    failures, trace_n, trace_est, trace_rel = merge_mc_shards(results, n_samples)
+    ledger = None
+    replayed = []
+    if checkpoint_dir is not None:
+        # Everything that shapes shard content belongs in the key: the
+        # grid (n_samples/shard_size), the per-shard stream root, the
+        # chunking (changes nothing numerically, but keeps keys honest
+        # about the exact task objects) and the checkpoint grid.
+        ledger = open_ledger(
+            checkpoint_dir,
+            "mc",
+            {
+                "n_samples": int(n_samples),
+                "shard_size": int(shard_size),
+                "chunk_size": int(chunk_size),
+                "trace_points": int(trace_points),
+                "dimension": int(dimension),
+                "seed": seed_key(root),
+            },
+            resume=resume,
+        )
+        replayed, tasks = ledger.split(tasks)
+    try:
+        results = executor.map(
+            run_mc_shard,
+            tasks,
+            on_result=ledger.record if ledger is not None else None,
+        )
+        # Fold only the freshly executed shards: replayed ones were paid
+        # for by the killed run and must not count again.
+        fold_external_counts(metric, executor, results)
+        if ledger is not None:
+            _telemetry.fold_replayed_records(ledger.replayed_telemetry())
+        merged = sorted(replayed + results, key=lambda r: r.index)
+        failures, trace_n, trace_est, trace_rel = merge_mc_shards(
+            merged, n_samples
+        )
+    finally:
+        if ledger is not None:
+            ledger.close()
     estimate = failures / n_samples
+    extras = {
+        "n_failures": failures,
+        "n_shards": len(shards),
+        "n_workers": executor.n_workers,
+        "backend": executor.backend,
+        "worker_hosts": distinct_hosts(results),
+    }
+    if ledger is not None:
+        extras["resume"] = dict(
+            ledger.summary(),
+            shards_total=len(shards),
+            shards_executed=len(results),
+            sims_replayed=int(sum(r.n_sims for r in replayed)),
+            sims_executed=int(sum(r.n_sims for r in results)),
+        )
     return EstimationResult(
         method="MC",
         failure_probability=estimate,
@@ -74,12 +147,7 @@ def _sharded_monte_carlo(
         trace=ConvergenceTrace(
             n_samples=trace_n, estimate=trace_est, relative_error=trace_rel
         ),
-        extras={
-            "n_failures": failures,
-            "n_shards": len(shards),
-            "n_workers": executor.n_workers,
-            "backend": executor.backend,
-        },
+        extras=extras,
     )
 
 
@@ -95,6 +163,8 @@ def brute_force_monte_carlo(
     backend: str = "process",
     shard_size: Optional[int] = None,
     executor: Optional[ParallelExecutor] = None,
+    checkpoint_dir=None,
+    resume: bool = True,
 ) -> EstimationResult:
     """Estimate P_f by plain Monte Carlo with ``n_samples`` simulations.
 
@@ -120,11 +190,28 @@ def brute_force_monte_carlo(
     executor:
         Prebuilt :class:`~repro.parallel.ParallelExecutor`; overrides
         ``n_workers``/``backend``.
+    checkpoint_dir:
+        Sharded path only: persist every completed shard to an
+        append-only ledger in this directory (format ``repro-ledger-v1``,
+        see ``docs/ELASTIC.md``).  A killed run re-invoked with the same
+        inputs resumes from the ledger, re-executing only the missing
+        shards, with a merged result bit-identical to an uninterrupted
+        run.  Pass an explicit integer ``rng`` seed (or a
+        ``SeedSequence``): with ``None`` or a live ``Generator`` every
+        invocation keys a different ledger and nothing ever resumes.
+    resume:
+        With ``checkpoint_dir``: replay an existing matching ledger
+        (default).  ``False`` truncates it and starts the run over.
     """
     if n_samples < 1:
         raise ValueError(f"n_samples must be positive, got {n_samples}")
     dimension = dimension if dimension is not None else getattr(metric, "dimension")
     pool = resolve_executor(executor, n_workers, backend)
+    if checkpoint_dir is not None and pool is None:
+        raise ValueError(
+            "checkpoint_dir requires the sharded path; pass n_workers "
+            "(or an executor) to enable it"
+        )
     with _telemetry.span(
         "mc.run", samples=int(n_samples), sharded=pool is not None
     ) as stage_span:
@@ -132,6 +219,7 @@ def brute_force_monte_carlo(
             result = _sharded_monte_carlo(
                 metric, spec, n_samples, dimension, rng, pool,
                 chunk_size, trace_points, shard_size,
+                checkpoint_dir=checkpoint_dir, resume=resume,
             )
             stage_span.add("sims", int(n_samples))
             stage_span.add("failures", int(result.extras["n_failures"]))

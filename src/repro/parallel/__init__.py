@@ -7,7 +7,13 @@ This package makes them actually parallel while keeping them exactly
 reproducible:
 
 * :class:`ParallelExecutor` — one fan-out primitive with ``serial`` /
-  ``thread`` / ``process`` backends;
+  ``thread`` / ``process`` / ``remote`` backends (the last dispatches
+  shards to ``repro worker`` processes over a socket, see
+  :mod:`repro.parallel.remote`);
+* :class:`ShardLedger` — an append-only, fsync-per-record JSONL
+  checkpoint of completed shard results, so killed runs resume
+  bit-identically by re-executing only the missing shards
+  (:mod:`repro.parallel.ledger`, ``docs/ELASTIC.md``);
 * :func:`plan_shards` / :func:`spawn_seed_sequences` — a worker-count-free
   shard grid where every shard owns the child stream at its spawn index,
   so results depend on the seed and the shard grid, never on the backend
@@ -34,6 +40,19 @@ from repro.parallel.executor import (
     default_workers,
     resolve_executor,
 )
+from repro.parallel.ledger import (
+    LEDGER_SCHEMA,
+    LedgerMismatch,
+    ShardLedger,
+    host_stamp,
+    open_ledger,
+)
+from repro.parallel.remote import (
+    PROTOCOL_VERSION,
+    RemoteCoordinator,
+    RemoteTaskError,
+    run_worker,
+)
 from repro.parallel.sharding import (
     Shard,
     checkpoint_grid,
@@ -46,6 +65,7 @@ from repro.parallel.sharding import (
 from repro.parallel.transport import (
     SHM_AVAILABLE,
     ShmArrayHandle,
+    discard_array,
     export_array,
     import_array,
     should_use_shm,
@@ -59,6 +79,7 @@ from repro.parallel.workers import (
     ISShardTask,
     MCShardResult,
     MCShardTask,
+    distinct_hosts,
     fold_external_counts,
     run_blockade_shard,
     run_gibbs_shard,
@@ -92,12 +113,23 @@ __all__ = [
     "run_gibbs_shard",
     "run_blockade_shard",
     "fold_external_counts",
+    "distinct_hosts",
     "spawn_seed_sequences",
     "SHM_AVAILABLE",
     "ShmArrayHandle",
     "export_array",
     "import_array",
+    "discard_array",
     "should_use_shm",
+    "LEDGER_SCHEMA",
+    "LedgerMismatch",
+    "ShardLedger",
+    "open_ledger",
+    "host_stamp",
+    "PROTOCOL_VERSION",
+    "RemoteCoordinator",
+    "RemoteTaskError",
+    "run_worker",
     "ProbeReport",
     "probe_metric_cost",
     "adaptive_shard_size",

@@ -1,0 +1,476 @@
+"""Socket transport: shard fan-out to workers on other machines.
+
+The process backend caps a run at one machine's cores.  This module lifts
+that cap with the smallest possible protocol: a coordinator listens on a
+TCP socket, ``repro worker --connect host:port`` processes dial in, and
+shard tasks travel as length-prefixed pickle (protocol 5) frames with
+numpy buffers shipped out-of-band — the same zero-copy framing
+``multiprocessing`` uses internally, but over a socket the operator
+controls.  Because tasks carry their own spawn-indexed child streams, the
+merged result is bit-identical to the serial/thread/process backends no
+matter which worker computes which shard.
+
+Wire format: every message is ``>IQ`` (buffer count, payload length),
+the pickled payload, then each out-of-band buffer as ``>Q`` length +
+raw bytes.  Messages are small tagged tuples::
+
+    ("hello", version, host_stamp)        worker -> coordinator, once
+    ("welcome", version, heartbeat_s)     coordinator -> worker, once
+    ("task", id, fn, task)                coordinator -> worker
+    ("result", id, result, wall_s)        worker -> coordinator
+    ("error", id, message, traceback)     worker -> coordinator
+    ("beat", ts)                          worker -> coordinator, periodic
+    ("drain",) / ("shutdown",)            coordinator -> worker
+
+Elasticity: workers may join at any time (the coordinator waits for
+``min_workers`` before dispatching); each worker heartbeats every
+``heartbeat`` seconds, and a worker that goes silent for
+``DEAD_AFTER_BEATS`` intervals — or whose socket errors — is declared
+dead and its in-flight shard is reassigned to a live worker.  Ctrl-C in
+the coordinator drains workers gracefully (they finish nothing new and
+exit) before the interrupt propagates.
+
+**Security note: trusted networks only.**  The protocol is pickle over an
+unauthenticated TCP socket — anyone who can reach the port can execute
+arbitrary code in the worker (that is literally the feature).  Bind to
+``127.0.0.1`` (the default), a private interface, or tunnel through SSH;
+never expose the port to an untrusted network.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import queue
+import socket
+import struct
+import threading
+import time
+import traceback
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.parallel.ledger import host_stamp
+from repro.telemetry import context as _telemetry
+
+#: Protocol version; handshake rejects a mismatch outright.
+PROTOCOL_VERSION = 1
+
+#: Missed-heartbeat multiplier before a silent worker is declared dead.
+DEAD_AFTER_BEATS = 3.0
+
+_HEADER = struct.Struct(">IQ")
+_BUFLEN = struct.Struct(">Q")
+
+
+def parse_address(address) -> Tuple[str, int]:
+    """Accept ``"host:port"`` strings or ``(host, port)`` pairs."""
+    if isinstance(address, str):
+        host, _, port = address.rpartition(":")
+        if not host or not port:
+            raise ValueError(
+                f"address must look like 'host:port', got {address!r}"
+            )
+        return host, int(port)
+    host, port = address
+    return str(host), int(port)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class FramedConnection:
+    """Length-prefixed pickle-5 messages over one socket.
+
+    Sends are lock-guarded (the worker's heartbeat thread and its result
+    path share the socket); receives are single-reader by construction
+    (one receiver thread per connection).
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._send_lock = threading.Lock()
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # non-TCP socket (e.g. AF_UNIX in tests): nothing to tune
+
+    def send(self, message) -> None:
+        buffers: List[pickle.PickleBuffer] = []
+        payload = pickle.dumps(message, protocol=5, buffer_callback=buffers.append)
+        raws = [buf.raw() for buf in buffers]
+        out = io.BytesIO()
+        out.write(_HEADER.pack(len(raws), len(payload)))
+        out.write(payload)
+        for raw in raws:
+            out.write(_BUFLEN.pack(raw.nbytes))
+            out.write(raw)
+        with self._send_lock:
+            self.sock.sendall(out.getvalue())
+
+    def recv(self):
+        n_buffers, payload_len = _HEADER.unpack(
+            _recv_exact(self.sock, _HEADER.size)
+        )
+        payload = _recv_exact(self.sock, payload_len)
+        buffers = []
+        for _ in range(n_buffers):
+            (size,) = _BUFLEN.unpack(_recv_exact(self.sock, _BUFLEN.size))
+            buffers.append(_recv_exact(self.sock, size))
+        return pickle.loads(payload, buffers=buffers)
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+class RemoteTaskError(RuntimeError):
+    """A shard raised on a remote worker; carries the remote traceback."""
+
+
+class _Worker:
+    """Coordinator-side record of one connected worker."""
+
+    def __init__(self, conn: FramedConnection, meta: dict, name: str):
+        self.conn = conn
+        self.meta = meta
+        self.name = name
+        self.alive = True
+        self.last_seen = time.monotonic()
+        self.current: Optional[int] = None  # in-flight task index
+        self.sent_at: float = 0.0
+        self.completed = 0
+
+
+class RemoteCoordinator:
+    """Listen for workers and fan shard maps out over their sockets.
+
+    Usually owned by ``ParallelExecutor(backend="remote")``; direct use is
+    the same two calls: construct (binds and starts accepting) and
+    :meth:`map`.  ``port=0`` picks a free port — read :attr:`address`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        min_workers: int = 1,
+        heartbeat: float = 5.0,
+        connect_timeout: float = 60.0,
+    ):
+        self.min_workers = max(int(min_workers), 1)
+        self.heartbeat = float(heartbeat)
+        self.connect_timeout = float(connect_timeout)
+        self._listener = socket.create_server((host, int(port)))
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._workers: List[_Worker] = []
+        self._inbox: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self.dispatch_overhead_s: List[float] = []
+        self._accepter = threading.Thread(
+            target=self._accept_loop, name="repro-remote-accept", daemon=True
+        )
+        self._accepter.start()
+
+    # -------------------------------------------------------- connections
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                conn = FramedConnection(sock)
+                hello = conn.recv()
+                if hello[0] != "hello" or hello[1] != PROTOCOL_VERSION:
+                    conn.send(("reject", PROTOCOL_VERSION))
+                    conn.close()
+                    continue
+                conn.send(("welcome", PROTOCOL_VERSION, self.heartbeat))
+            except (OSError, ConnectionError, pickle.UnpicklingError):
+                sock.close()
+                continue
+            worker = _Worker(conn, hello[2], name=f"{peer[0]}:{peer[1]}")
+            with self._lock:
+                self._workers.append(worker)
+            threading.Thread(
+                target=self._receive_loop,
+                args=(worker,),
+                name=f"repro-remote-recv-{worker.name}",
+                daemon=True,
+            ).start()
+            self._inbox.put(("joined", worker))
+
+    def _receive_loop(self, worker: _Worker) -> None:
+        try:
+            while True:
+                message = worker.conn.recv()
+                worker.last_seen = time.monotonic()
+                if message[0] in ("result", "error"):
+                    self._inbox.put((message[0], worker, message))
+                # beats only refresh last_seen
+        except (ConnectionError, OSError, EOFError, pickle.UnpicklingError):
+            self._inbox.put(("lost", worker))
+
+    def _live_workers(self) -> List[_Worker]:
+        with self._lock:
+            return [w for w in self._workers if w.alive]
+
+    def n_workers(self) -> int:
+        return len(self._live_workers())
+
+    def wait_for_workers(self, count: Optional[int] = None) -> None:
+        """Block until ``count`` (default ``min_workers``) workers joined."""
+        count = self.min_workers if count is None else int(count)
+        deadline = time.monotonic() + self.connect_timeout
+        while self.n_workers() < count:
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"remote backend: only {self.n_workers()} of {count} "
+                    f"worker(s) connected to {self.address[0]}:"
+                    f"{self.address[1]} within {self.connect_timeout:.0f}s"
+                )
+            try:
+                self._inbox.put(self._inbox.get(timeout=0.2))
+            except queue.Empty:
+                pass
+
+    def _mark_dead(self, worker: _Worker) -> Optional[int]:
+        """Declare a worker dead; return its in-flight task index, if any."""
+        with self._lock:
+            if not worker.alive:
+                return None
+            worker.alive = False
+            orphan, worker.current = worker.current, None
+        worker.conn.close()
+        _telemetry.count("remote.workers_lost", 1)
+        return orphan
+
+    # --------------------------------------------------------------- map
+    def map(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        on_result: Optional[Callable] = None,
+    ) -> List:
+        """Run ``fn`` over ``tasks`` on the connected workers.
+
+        Results come back in serial order (index order), exactly like the
+        pool backends; ``on_result`` fires in *completion* order as each
+        shard lands, which is what feeds the ledger writer incrementally.
+        Dead workers' in-flight shards are re-queued for the survivors; if
+        every worker dies, the call waits ``connect_timeout`` for a new
+        one to join before giving up.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        self.wait_for_workers()
+        pending: List[int] = list(range(len(tasks)))
+        results: List = [None] * len(tasks)
+        done = 0
+        last_progress = time.monotonic()
+        try:
+            while done < len(tasks):
+                pending = self._dispatch(fn, tasks, pending)
+                try:
+                    event = self._inbox.get(timeout=min(self.heartbeat, 1.0))
+                except queue.Empty:
+                    event = None
+                now = time.monotonic()
+                if event is not None:
+                    kind = event[0]
+                    if kind == "result":
+                        _, worker, message = event
+                        _, task_id, payload, wall_s = message
+                        worker.current = None
+                        worker.completed += 1
+                        overhead = max((now - worker.sent_at) - wall_s, 0.0)
+                        self.dispatch_overhead_s.append(overhead)
+                        results[task_id] = payload
+                        done += 1
+                        last_progress = now
+                        if on_result is not None:
+                            on_result(payload)
+                    elif kind == "error":
+                        _, worker, message = event
+                        _, task_id, text, remote_tb = message
+                        worker.current = None
+                        raise RemoteTaskError(
+                            f"shard {task_id} failed on worker "
+                            f"{worker.name}: {text}\n--- remote traceback "
+                            f"---\n{remote_tb}"
+                        )
+                    elif kind == "lost":
+                        orphan = self._mark_dead(event[1])
+                        if orphan is not None:
+                            pending.insert(0, orphan)
+                    elif kind == "joined":
+                        last_progress = now
+                # Heartbeat staleness: a worker that stopped beating is
+                # dead even if its socket never errored (partition, D
+                # state); reclaim its shard.
+                for worker in self._live_workers():
+                    if now - worker.last_seen > DEAD_AFTER_BEATS * self.heartbeat:
+                        orphan = self._mark_dead(worker)
+                        if orphan is not None:
+                            pending.insert(0, orphan)
+                if not self._live_workers() and done < len(tasks):
+                    if now - last_progress > self.connect_timeout:
+                        raise RuntimeError(
+                            "remote backend: all workers died and none "
+                            f"rejoined within {self.connect_timeout:.0f}s "
+                            f"({done}/{len(tasks)} shards completed)"
+                        )
+        except KeyboardInterrupt:
+            self.drain()
+            raise
+        return results
+
+    def _dispatch(self, fn, tasks, pending: List[int]) -> List[int]:
+        remaining = list(pending)
+        for worker in self._live_workers():
+            if not remaining:
+                break
+            if worker.current is not None:
+                continue
+            task_id = remaining.pop(0)
+            try:
+                worker.current = task_id
+                worker.sent_at = time.monotonic()
+                worker.conn.send(("task", task_id, fn, tasks[task_id]))
+            except (OSError, ConnectionError):
+                worker.current = None
+                remaining.insert(0, task_id)
+                orphan = self._mark_dead(worker)
+                if orphan is not None and orphan != task_id:
+                    remaining.insert(0, orphan)
+        return remaining
+
+    # ----------------------------------------------------------- teardown
+    def _broadcast(self, message) -> None:
+        for worker in self._live_workers():
+            try:
+                worker.conn.send(message)
+            except (OSError, ConnectionError):
+                self._mark_dead(worker)
+
+    def drain(self) -> None:
+        """Ask every worker to finish its current shard and exit."""
+        self._broadcast(("drain",))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._broadcast(("shutdown",))
+        self._listener.close()
+        with self._lock:
+            workers, self._workers = self._workers, []
+        for worker in workers:
+            worker.alive = False
+            worker.conn.close()
+
+    def __enter__(self) -> "RemoteCoordinator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------- worker
+def run_worker(
+    host: str,
+    port: int,
+    heartbeat: Optional[float] = None,
+    retries: int = 0,
+    retry_delay: float = 1.0,
+) -> int:
+    """Connect to a coordinator and serve shard tasks until told to stop.
+
+    This is the body of ``repro worker --connect host:port``.  Returns the
+    number of tasks completed (the CLI maps it to exit status 0).  A
+    heartbeat thread keeps beating while a task computes, so long shards
+    never read as death.
+    """
+    completed = 0
+    attempts = 0
+    while True:
+        try:
+            sock = socket.create_connection((host, int(port)), timeout=30.0)
+        except OSError:
+            attempts += 1
+            if attempts > retries:
+                raise
+            time.sleep(retry_delay)
+            continue
+        sock.settimeout(None)
+        conn = FramedConnection(sock)
+        conn.send(("hello", PROTOCOL_VERSION, host_stamp()))
+        welcome = conn.recv()
+        if welcome[0] != "welcome":
+            conn.close()
+            raise RuntimeError(
+                f"coordinator rejected the connection: {welcome!r}"
+            )
+        interval = float(heartbeat or welcome[2])
+        stop = threading.Event()
+
+        def _beat() -> None:
+            while not stop.wait(interval):
+                try:
+                    conn.send(("beat", time.time()))
+                except (OSError, ConnectionError):
+                    return
+
+        beater = threading.Thread(
+            target=_beat, name="repro-worker-beat", daemon=True
+        )
+        beater.start()
+        try:
+            while True:
+                message = conn.recv()
+                kind = message[0]
+                if kind == "task":
+                    _, task_id, fn, task = message
+                    t0 = time.perf_counter()
+                    try:
+                        result = fn(task)
+                    except BaseException as exc:
+                        conn.send((
+                            "error",
+                            task_id,
+                            f"{type(exc).__name__}: {exc}",
+                            traceback.format_exc(),
+                        ))
+                        if isinstance(exc, KeyboardInterrupt):
+                            raise
+                        continue
+                    conn.send(
+                        ("result", task_id, result, time.perf_counter() - t0)
+                    )
+                    completed += 1
+                elif kind == "ping":
+                    conn.send(("pong",))
+                elif kind in ("drain", "shutdown"):
+                    return completed
+                # unknown kinds are ignored for forward compatibility
+        except (ConnectionError, OSError, EOFError):
+            return completed  # coordinator went away: normal end of run
+        except KeyboardInterrupt:
+            return completed
+        finally:
+            stop.set()
+            conn.close()

@@ -145,23 +145,33 @@ def merge_chain_shards(shard_results: Sequence, n_chains: int):
     # this package — resolve the container lazily to stay cycle-free.
     from repro.gibbs.cartesian import MultiChainGibbs
 
-    from repro.parallel.transport import unpack_array
+    from repro.parallel.transport import discard_array, unpack_array
 
     with _telemetry.span(
         "merge.chain_shards", shards=len(shard_results), chains=int(n_chains)
     ):
         ordered = sorted(shard_results, key=lambda r: r.index)
-        covered = sum(r.count for r in ordered)
-        if covered != n_chains:
-            raise ValueError(
-                f"shard results cover {covered} chains, expected {n_chains}"
+        try:
+            covered = sum(r.count for r in ordered)
+            if covered != n_chains:
+                raise ValueError(
+                    f"shard results cover {covered} chains, expected "
+                    f"{n_chains}"
+                )
+            samples = np.concatenate(
+                [unpack_array(r.samples) for r in ordered], axis=0
             )
-        samples = np.concatenate(
-            [unpack_array(r.samples) for r in ordered], axis=0
-        )
-        widths = np.concatenate(
-            [unpack_array(r.interval_widths) for r in ordered], axis=0
-        )
+            widths = np.concatenate(
+                [unpack_array(r.interval_widths) for r in ordered], axis=0
+            )
+        except BaseException:
+            # A failed merge would strand every not-yet-imported segment
+            # (import_array unlinks as it copies, so the imported ones are
+            # already gone); unlink the rest before unwinding.
+            for result in ordered:
+                discard_array(result.samples)
+                discard_array(result.interval_widths)
+            raise
         per_chain = np.concatenate(
             [np.asarray(r.per_chain_simulations, dtype=int) for r in ordered]
         )

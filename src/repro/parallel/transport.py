@@ -87,11 +87,14 @@ def should_use_shm(
     """Decide, in the parent, whether a shard payload should ride shm.
 
     True only when all three hold: the platform has shared memory, the
-    executor actually crosses a process boundary (serial/thread workers
-    share the caller's memory already), and the payload is big enough for
-    the block setup to pay for itself.
+    executor crosses a process boundary *on this machine* (serial/thread
+    workers share the caller's memory already; remote workers may live on
+    hosts where a block name means nothing), and the payload is big enough
+    for the block setup to pay for itself.
     """
-    if not SHM_AVAILABLE or executor is None or not executor.cross_process:
+    if not SHM_AVAILABLE or executor is None:
+        return False
+    if not getattr(executor, "supports_shm", executor.cross_process):
         return False
     if threshold is None:
         threshold = shm_min_bytes()
@@ -151,6 +154,38 @@ def import_array(handle: ShmArrayHandle) -> np.ndarray:
         recorder.count("shm.imports", 1)
         recorder.count("shm.import_bytes", int(array.nbytes))
     return array
+
+
+def discard_array(handle) -> None:
+    """Unlink a parked array that will never be imported (idempotent).
+
+    The shm ownership protocol hands the block from worker to parent via
+    :func:`import_array`, which unlinks after copying.  When a shard dies
+    *between* export and return — a later export raises, the worker is
+    told to drain mid-shard — nobody would ever import the handle and the
+    segment would leak until reboot.  Failure paths call this instead;
+    a handle whose block is already gone is a no-op.
+    """
+    if not SHM_AVAILABLE or not isinstance(handle, ShmArrayHandle):
+        return
+    try:
+        shm = shared_memory.SharedMemory(name=handle.name)
+    except FileNotFoundError:
+        return
+    try:
+        # Attaching re-registered the block with this process's tracker;
+        # forget it again so unlink stays the only teardown.
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker API is semi-private
+        pass
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already reclaimed
+        pass
+    recorder = _telemetry.get_active()
+    if recorder is not None:
+        recorder.count("shm.discards", 1)
 
 
 def pack_array(array: np.ndarray, use_shm: bool):

@@ -17,8 +17,9 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro import telemetry
+from repro.parallel.ledger import host_stamp
 from repro.parallel.sharding import Shard
-from repro.parallel.transport import pack_array
+from repro.parallel.transport import ShmArrayHandle, discard_array, pack_array
 
 
 # --------------------------------------------------------------- brute MC
@@ -61,6 +62,9 @@ class MCShardResult:
     #: Worker recorder snapshot (process backend only; see
     #: :func:`repro.telemetry.fold_shard_records`).
     telemetry: Optional[dict] = None
+    #: Where the shard ran (hostname / pid / cpu_count), for ledger rows
+    #: and multi-host attribution; see :func:`repro.parallel.ledger.host_stamp`.
+    host: Optional[dict] = None
 
 
 def run_mc_shard(task: MCShardTask) -> MCShardResult:
@@ -105,6 +109,7 @@ def run_mc_shard(task: MCShardTask) -> MCShardResult:
         n_sims=shard.count,
         n_calls=n_calls,
         telemetry=shard_tel.record(),
+        host=host_stamp(),
     )
 
 
@@ -189,6 +194,8 @@ class GibbsShardResult:
     n_calls: int = 0
     #: Worker recorder snapshot (process backend only).
     telemetry: Optional[dict] = None
+    #: Where the shard ran (see :func:`repro.parallel.ledger.host_stamp`).
+    host: Optional[dict] = None
 
 
 def run_gibbs_shard(task: GibbsShardTask) -> GibbsShardResult:
@@ -248,8 +255,21 @@ def run_gibbs_shard(task: GibbsShardTask) -> GibbsShardResult:
                 f"coordinate_system must be 'cartesian' or 'spherical', "
                 f"got {task.coordinate_system!r}"
             )
-        samples_payload = pack_array(multi.samples, task.shm_payloads)
-        widths_payload = pack_array(multi.interval_widths, task.shm_payloads)
+        # Exception-safe export: if the second pack (or anything after the
+        # first) raises, nobody will ever import the earlier handle, so
+        # unlink it here instead of leaking the segment until reboot.
+        exports: List[ShmArrayHandle] = []
+        try:
+            samples_payload = pack_array(multi.samples, task.shm_payloads)
+            if isinstance(samples_payload, ShmArrayHandle):
+                exports.append(samples_payload)
+            widths_payload = pack_array(
+                multi.interval_widths, task.shm_payloads
+            )
+        except BaseException:
+            for handle in exports:
+                discard_array(handle)
+            raise
         sp.add("sims", tally.n_sims)
         sp.add("calls", tally.n_calls)
     return GibbsShardResult(
@@ -262,6 +282,7 @@ def run_gibbs_shard(task: GibbsShardTask) -> GibbsShardResult:
         n_sims=tally.n_sims,
         n_calls=tally.n_calls,
         telemetry=shard_tel.record(),
+        host=host_stamp(),
     )
 
 
@@ -303,6 +324,8 @@ class ISShardResult:
     n_calls: int = 0
     #: Worker recorder snapshot (process backend only).
     telemetry: Optional[dict] = None
+    #: Where the shard ran (see :func:`repro.parallel.ledger.host_stamp`).
+    host: Optional[dict] = None
 
 
 def run_is_shard(task: ISShardTask) -> ISShardResult:
@@ -347,6 +370,7 @@ def run_is_shard(task: ISShardTask) -> ISShardResult:
         n_sims=shard.count,
         n_calls=1,
         telemetry=shard_tel.record(),
+        host=host_stamp(),
     )
 
 
@@ -385,6 +409,8 @@ class BlockadeShardResult:
     n_calls: int = 0
     #: Worker recorder snapshot (process backend only).
     telemetry: Optional[dict] = None
+    #: Where the shard ran (see :func:`repro.parallel.ledger.host_stamp`).
+    host: Optional[dict] = None
 
 
 def run_blockade_shard(task: BlockadeShardTask) -> BlockadeShardResult:
@@ -423,7 +449,26 @@ def run_blockade_shard(task: BlockadeShardTask) -> BlockadeShardResult:
         n_sims=tally.n_sims,
         n_calls=tally.n_calls,
         telemetry=shard_tel.record(),
+        host=host_stamp(),
     )
+
+
+def distinct_hosts(shard_results) -> List[dict]:
+    """Deduplicated host stamps across a run's shard results.
+
+    One entry per (hostname, pid) — i.e. per worker process — with the
+    number of shards it computed, for ``extras`` / bench worker records.
+    """
+    seen = {}
+    for result in shard_results:
+        stamp = getattr(result, "host", None)
+        if not stamp:
+            continue
+        key = (stamp.get("hostname"), stamp.get("pid"))
+        if key not in seen:
+            seen[key] = dict(stamp, n_shards=0)
+        seen[key]["n_shards"] += 1
+    return [seen[key] for key in sorted(seen, key=lambda k: (str(k[0]), str(k[1])))]
 
 
 def fold_external_counts(metric, executor, shard_results) -> None:

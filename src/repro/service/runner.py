@@ -38,6 +38,7 @@ from repro.gibbs.two_stage import FirstStageArtifact, fit_first_stage
 from repro.mc.counter import CountedMetric
 from repro.mc.results import ConvergenceTrace, EstimationResult
 from repro.parallel.executor import ParallelExecutor
+from repro.parallel.ledger import open_ledger, seed_key
 from repro.parallel.sharding import plan_shards
 from repro.parallel.transport import should_use_shm
 from repro.parallel.workers import (
@@ -133,17 +134,23 @@ def _run_weight_shards(
     seeds,
     executor: ParallelExecutor,
     should_abort,
+    ledger=None,
 ) -> List:
     """Evaluate IS shards on the service pool, in cancellable batches.
 
     Batches are a cancellation granularity only: the shard grid and the
     per-shard streams are fixed by the caller, so batching never changes
-    the numbers (the determinism contract of the parallel layer).
+    the numbers (the determinism contract of the parallel layer).  With a
+    ``ledger``, shards already persisted are replayed instead of re-run
+    and every fresh completion is appended as it lands — a cancelled (or
+    killed) job pays only for the missing shards next time.
     """
     results = []
     batch = max(executor.n_workers, 1) * 2
     ship_telemetry = _telemetry.ship_to_workers(executor)
-    shm = should_use_shm(executor, 0)
+    # Ledger rows must be self-contained, so checkpointing forces the
+    # pickle transport (shm handles are single-use).
+    shm = ledger is None and should_use_shm(executor, 0)
     for lo in range(0, len(shards), batch):
         _check_abort(should_abort)
         tasks = [
@@ -159,7 +166,16 @@ def _run_weight_shards(
             )
             for shard, child in zip(shards[lo:lo + batch], seeds[lo:lo + batch])
         ]
-        batch_results = executor.map(run_is_shard, tasks)
+        if ledger is not None:
+            replayed, tasks = ledger.split(tasks)
+            results.extend(replayed)
+        batch_results = executor.map(
+            run_is_shard,
+            tasks,
+            on_result=ledger.record if ledger is not None else None,
+        )
+        # Fold fresh shards only: replayed ones were paid for by the run
+        # that recorded them and must not charge the metric again.
         fold_external_counts(counted, executor, batch_results)
         results.extend(batch_results)
     return sorted(results, key=lambda r: r.index)
@@ -173,18 +189,27 @@ def _second_stage(
     executor: ParallelExecutor,
     should_abort,
     reuse_weights: Optional[np.ndarray] = None,
-) -> Tuple[np.ndarray, int]:
+    checkpoint_dir=None,
+    resume: bool = True,
+    ledger_key: Optional[str] = None,
+) -> Tuple[np.ndarray, int, Optional[dict]]:
     """Run the parametric second stage up to the request's budget.
 
     With ``reuse_weights`` (a whole number of shards from a previous run
     on the same grid), only the missing tail of the shard grid is
     evaluated and the stored weights are kept verbatim — the refinement
-    path.  Returns the merged weight vector and the failure count.
+    path.  With ``checkpoint_dir``, completed shards also land in a
+    per-job ledger keyed by ``ledger_key``, the shard grid and the tagged
+    second-stage stream — and *not* the sample budget, so a later
+    refinement extends the same ledger (spawn children are prefix-stable).
+    Returns the merged weight vector, the failure count and the ledger's
+    resume summary (``None`` when not checkpointing).
     """
     n_total = int(request.n_second_stage)
     shard_size = int(request.shard_size)
+    root = second_stage_seed(request.seed)
     shards = plan_shards(n_total, shard_size)
-    seeds = list(second_stage_seed(request.seed).spawn(len(shards)))
+    seeds = list(root.spawn(len(shards)))
     first_new = 0
     if reuse_weights is not None:
         if reuse_weights.size % shard_size:
@@ -194,10 +219,32 @@ def _second_stage(
             )
         first_new = reuse_weights.size // shard_size
     nominal = MultivariateNormal.standard(counted.dimension)
-    records = _run_weight_shards(
-        counted, spec, proposal, nominal,
-        shards[first_new:], seeds[first_new:], executor, should_abort,
-    )
+    ledger = None
+    if checkpoint_dir is not None:
+        ledger = open_ledger(
+            checkpoint_dir,
+            "is",
+            {
+                "job": ledger_key,
+                "shard_size": shard_size,
+                "seed": seed_key(root),
+            },
+            resume=resume,
+        )
+    try:
+        records = _run_weight_shards(
+            counted, spec, proposal, nominal,
+            shards[first_new:], seeds[first_new:], executor, should_abort,
+            ledger=ledger,
+        )
+        if ledger is not None:
+            _telemetry.fold_replayed_records(ledger.replayed_telemetry())
+        resume_record = None if ledger is None else dict(
+            ledger.summary(), shards_total=len(shards) - first_new,
+        )
+    finally:
+        if ledger is not None:
+            ledger.close()
     new_weights = (
         np.concatenate([r.weights for r in records])
         if records else np.empty(0)
@@ -206,7 +253,7 @@ def _second_stage(
         weights = np.concatenate([reuse_weights, new_weights])
     else:
         weights = new_weights
-    return weights, int(np.count_nonzero(weights))
+    return weights, int(np.count_nonzero(weights)), resume_record
 
 
 def _gibbs_result(
@@ -246,8 +293,17 @@ def _lean_result(result: EstimationResult) -> EstimationResult:
     return dataclasses.replace(result, extras=keep)
 
 
-def _run_plain_method(request: JobRequest, problem, executor) -> EstimationResult:
+def _run_plain_method(
+    request: JobRequest,
+    problem,
+    executor,
+    checkpoint_dir=None,
+    resume: bool = True,
+) -> EstimationResult:
     """Non-Gibbs methods: one uniform call into the experiment runner."""
+    kwargs = {}
+    if checkpoint_dir is not None:
+        kwargs.update(checkpoint_dir=checkpoint_dir, resume=resume)
     return run_method(
         request.method,
         problem,
@@ -259,6 +315,7 @@ def _run_plain_method(request: JobRequest, problem, executor) -> EstimationResul
         n_exploration=request.n_exploration,
         executor=executor,
         shard_size=request.shard_size,
+        **kwargs,
     )
 
 
@@ -269,6 +326,8 @@ def execute_job(
     should_abort: Optional[Callable[[], Optional[str]]] = None,
     job_id: Optional[str] = None,
     problem=None,
+    checkpoint_dir=None,
+    resume: bool = True,
 ) -> Tuple[EstimationResult, dict]:
     """Run one yield-estimation job; return ``(result, manifest)``.
 
@@ -277,6 +336,15 @@ def execute_job(
     cache:
         Artifact cache consulted/updated when ``request.use_cache``;
         ``None`` runs cold and stores nothing.
+    checkpoint_dir:
+        Persist completed shards (first-stage chain groups and
+        second-stage weight shards) to per-job ledgers in this directory
+        so a killed job resumes bit-identically, paying only for missing
+        shards.  The :class:`~repro.service.scheduler.YieldService`
+        passes ``<cache_dir>/ledgers``.
+    resume:
+        With ``checkpoint_dir``: replay matching ledgers (default);
+        ``False`` truncates them first.
     executor:
         The service's persistent pool; ``None`` builds an inline serial
         one (used by tests and one-shot CLI submission).
@@ -308,6 +376,7 @@ def execute_job(
     mode = "cold"
     saved_sims = 0
     saved_seconds = 0.0
+    resume_record = None
     with _telemetry.span(
         "service.job",
         job=job_id or "",
@@ -334,11 +403,15 @@ def execute_job(
                     solver_warm_start=request.solver_warm_start,
                     proposal_fit=request.proposal_fit,
                     executor=pool,
+                    checkpoint_dir=checkpoint_dir,
+                    resume=resume,
                 )
                 _check_abort(should_abort)
-                weights, n_failures = _second_stage(
+                weights, n_failures, resume_record = _second_stage(
                     counted, problem.spec, artifact.proposal, request,
                     pool, should_abort,
+                    checkpoint_dir=checkpoint_dir, resume=resume,
+                    ledger_key=key,
                 )
                 result = _gibbs_result(
                     request, artifact, weights, n_failures,
@@ -358,7 +431,10 @@ def execute_job(
                         },
                     ))
             else:
-                result = _run_plain_method(request, problem, pool)
+                result = _run_plain_method(
+                    request, problem, pool,
+                    checkpoint_dir=checkpoint_dir, resume=resume,
+                )
                 if cache is not None:
                     cache.put(key, CacheEntry(
                         key=key,
@@ -383,10 +459,12 @@ def execute_job(
                 and stored_n % int(request.shard_size) == 0
             ):
                 mode = "refined"
-                weights, n_failures = _second_stage(
+                weights, n_failures, resume_record = _second_stage(
                     counted, problem.spec, artifact.proposal, request,
                     pool, should_abort,
                     reuse_weights=np.asarray(record["weights"], dtype=float),
+                    checkpoint_dir=checkpoint_dir, resume=resume,
+                    ledger_key=key,
                 )
                 result = _gibbs_result(
                     request, artifact, weights, n_failures, 0, reused=True,
@@ -407,9 +485,11 @@ def execute_job(
                 # weights are unusable but the artifact is not — re-run
                 # only the cheap second stage.
                 mode = "second_stage_rerun"
-                weights, n_failures = _second_stage(
+                weights, n_failures, resume_record = _second_stage(
                     counted, problem.spec, artifact.proposal, request,
                     pool, should_abort,
+                    checkpoint_dir=checkpoint_dir, resume=resume,
+                    ledger_key=key,
                 )
                 result = _gibbs_result(
                     request, artifact, weights, n_failures, 0, reused=True,
@@ -433,7 +513,10 @@ def execute_job(
                 # Non-Gibbs methods carry no reusable artifact: a larger
                 # budget re-runs the whole flow (and refreshes the entry).
                 mode = "rerun"
-                result = _run_plain_method(request, problem, pool)
+                result = _run_plain_method(
+                    request, problem, pool,
+                    checkpoint_dir=checkpoint_dir, resume=resume,
+                )
                 cache.put(key, dataclasses.replace(
                     entry, result=_lean_result(result),
                 ))
@@ -443,6 +526,10 @@ def execute_job(
         sims_run = int(counted.count)
     else:
         sims_run = 0 if mode == "cached_result" else int(result.n_total)
+        # Ledger-replayed shards were simulated by an earlier (killed)
+        # run; the result's own totals keep them, the job's bill doesn't.
+        replayed = result.extras.get("resume") or {}
+        sims_run = max(sims_run - int(replayed.get("sims_replayed", 0)), 0)
     # First-stage simulations *this job executed* — zero on every warm
     # path (the stored result's own accounting stays on the result).
     if mode in ("cached_result", "refined", "second_stage_rerun"):
@@ -468,6 +555,7 @@ def execute_job(
             "n_second_stage": int(result.n_second_stage),
             "wall_seconds": time.perf_counter() - t0,
             "cache": cache.stats() if cache is not None else None,
+            "resume": resume_record or result.extras.get("resume"),
         }},
     )
     return result, manifest

@@ -39,6 +39,7 @@ from repro.telemetry.context import (
     activate,
     count,
     enabled,
+    fold_replayed_records,
     fold_shard_records,
     gauge,
     get_active,
@@ -76,6 +77,7 @@ __all__ = [
     # worker protocol
     "ship_to_workers",
     "ShardTelemetry",
+    "fold_replayed_records",
     "fold_shard_records",
     # export
     "JSONL_SCHEMA",

@@ -164,13 +164,53 @@ def fold_shard_records(shard_results) -> None:
 
     Called at merge time for cross-process runs only (the caller gates on
     ``executor.cross_process``, exactly like the simulation-count fold);
-    a no-op without an active recorder.  Results without a ``telemetry``
-    attribute, or with ``None`` there, are skipped.
+    a no-op without an active recorder.
+
+    Tolerant by design: shard records replayed from a checkpoint ledger
+    may predate the ``telemetry`` field, carry ``None`` (the writing run
+    had telemetry off), or be malformed after storage.  Such records are
+    *skipped*, never fatal — losing a worker's span attribution must not
+    lose the run — and each skip bumps the ``telemetry.folds_skipped``
+    counter so the gap is visible in the summary.
     """
     recorder = _active
     if recorder is None:
         return
     for result in shard_results:
         record = getattr(result, "telemetry", None)
-        if record:
+        if not record:
+            recorder.count("telemetry.folds_skipped", 1)
+            continue
+        try:
             recorder.fold(record)
+        except Exception:
+            recorder.count("telemetry.folds_skipped", 1)
+
+
+def fold_replayed_records(records) -> None:
+    """Fold *persisted* telemetry snapshots from a resume ledger.
+
+    Replayed shards ran in an earlier (killed) process, so their counters
+    must not masquerade as this run's work — the resumed run's
+    ``metric.sims`` counter stays equal to the simulations it actually
+    paid for.  Their counters fold under a ``replayed.`` prefix instead,
+    and ``ledger.snapshots_folded`` records how many snapshots came home.
+    """
+    recorder = _active
+    if recorder is None:
+        return
+    folded = 0
+    for record in records:
+        if not isinstance(record, dict):
+            continue
+        counters = record.get("counters")
+        if not isinstance(counters, dict):
+            continue
+        for name, value in counters.items():
+            try:
+                recorder.count(f"replayed.{name}", value)
+            except TypeError:
+                continue
+        folded += 1
+    if folded:
+        recorder.count("ledger.snapshots_folded", folded)

@@ -164,7 +164,38 @@ class TestActiveRecorderFastPath:
         rec = telemetry.Recorder("t")
         with telemetry.activate(rec):
             telemetry.fold_shard_records([R(), object()])
-        assert rec.n_events == 0
+        # Missing/None records are skipped, never fatal, and each skip is
+        # visible as a counter (ledger rows replayed from telemetry-off
+        # runs land here).
+        assert rec.counters == {"telemetry.folds_skipped": 2}
+        assert rec.spans == []
+
+    def test_fold_shard_records_tolerates_malformed(self):
+        class R:
+            telemetry = {"counters": "not-a-dict", "spans": 7}
+
+        class OK:
+            telemetry = {"counters": {"sims": 2}, "spans": []}
+
+        rec = telemetry.Recorder("t")
+        with telemetry.activate(rec):
+            telemetry.fold_shard_records([R(), OK()])
+        assert rec.counters.get("sims") == 2
+        assert rec.counters.get("telemetry.folds_skipped") == 1
+
+    def test_fold_replayed_records_prefixes_counters(self):
+        rec = telemetry.Recorder("t")
+        with telemetry.activate(rec):
+            telemetry.fold_replayed_records([
+                {"counters": {"sims": 5}},
+                {"counters": {"sims": 3, "failures": 1}},
+                None,  # telemetry-off row: ignored
+            ])
+        # Replayed work never inflates this run's own counters.
+        assert "sims" not in rec.counters
+        assert rec.counters["replayed.sims"] == 8
+        assert rec.counters["replayed.failures"] == 1
+        assert rec.counters["ledger.snapshots_folded"] == 2
 
 
 class TestSharedClock:
