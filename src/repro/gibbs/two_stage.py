@@ -58,7 +58,7 @@ from repro.parallel.adaptive import (
     probe_metric_cost,
 )
 from repro.parallel.executor import ParallelExecutor, resolve_executor
-from repro.parallel.ledger import open_ledger, seed_key
+from repro.parallel.ledger import metric_fingerprint, open_ledger, seed_key
 from repro.parallel.sharding import merge_chain_shards, plan_shards
 from repro.parallel.transport import should_use_shm
 from repro.parallel.workers import (
@@ -330,6 +330,7 @@ def run_first_stage(
                 "ladder_width": int(ladder_width),
                 "solver_warm_start": bool(solver_warm_start),
                 "starts": starts_digest,
+                "metric": metric_fingerprint(metric, spec),
                 "seed": seed_key(root),
             },
             resume=resume,

@@ -23,7 +23,12 @@ from repro.mc.indicator import FailureSpec
 from repro.mc.results import ConvergenceTrace, EstimationResult
 from repro.parallel.adaptive import adaptive_shard_size, probe_metric_cost
 from repro.parallel.executor import ParallelExecutor, resolve_executor
-from repro.parallel.ledger import open_ledger, proposal_fingerprint, seed_key
+from repro.parallel.ledger import (
+    metric_fingerprint,
+    open_ledger,
+    proposal_fingerprint,
+    seed_key,
+)
 from repro.parallel.sharding import plan_shards
 from repro.parallel.transport import should_use_shm, unpack_array
 from repro.parallel.workers import ISShardTask, fold_external_counts, run_is_shard
@@ -123,6 +128,7 @@ def _sharded_second_stage(
                 "shard_size": int(shard_size),
                 "dimension": int(dimension),
                 "store_samples": bool(store_samples),
+                "metric": metric_fingerprint(metric, spec),
                 "proposal": proposal_fingerprint(proposal),
                 "seed": seed_key(root),
             },

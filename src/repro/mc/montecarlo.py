@@ -24,7 +24,7 @@ import numpy as np
 from repro.mc.indicator import FailureSpec
 from repro.mc.results import ConvergenceTrace, EstimationResult
 from repro.parallel.executor import ParallelExecutor, resolve_executor
-from repro.parallel.ledger import open_ledger, seed_key
+from repro.parallel.ledger import metric_fingerprint, open_ledger, seed_key
 from repro.parallel.sharding import checkpoint_grid, merge_mc_shards, plan_shards
 from repro.parallel.workers import (
     MCShardTask,
@@ -87,9 +87,11 @@ def _sharded_monte_carlo(
     replayed = []
     if checkpoint_dir is not None:
         # Everything that shapes shard content belongs in the key: the
-        # grid (n_samples/shard_size), the per-shard stream root, the
-        # chunking (changes nothing numerically, but keeps keys honest
-        # about the exact task objects) and the checkpoint grid.
+        # metric/spec identity (two problems with the same dimension and
+        # seed must never replay each other's shards), the grid
+        # (n_samples/shard_size), the per-shard stream root, the chunking
+        # (changes nothing numerically, but keeps keys honest about the
+        # exact task objects) and the checkpoint grid.
         ledger = open_ledger(
             checkpoint_dir,
             "mc",
@@ -99,6 +101,7 @@ def _sharded_monte_carlo(
                 "chunk_size": int(chunk_size),
                 "trace_points": int(trace_points),
                 "dimension": int(dimension),
+                "metric": metric_fingerprint(metric, spec),
                 "seed": seed_key(root),
             },
             resume=resume,

@@ -177,6 +177,51 @@ def proposal_fingerprint(proposal) -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
+def metric_fingerprint(metric, spec=None) -> str:
+    """Hex digest binding a run key to the metric/spec being estimated.
+
+    Two runs that differ only in the *problem* — same dimension, seed and
+    shard grid — must never share a ledger: replaying problem A's shard
+    counts as problem B's estimate would silently corrupt the result.
+    Wrappers that do not change the numbers (:class:`~repro.mc.counter.
+    CountedMetric`, timing shims) expose the wrapped callable as a
+    ``.metric`` attribute and are unwrapped first, so instrumenting a
+    resumed run never keys a different ledger than the killed one.
+    Identity is the pickle of the unwrapped metric (content-based:
+    direction vectors, thresholds, cell geometry) plus the spec's
+    threshold/polarity; unpicklable metrics fall back to their qualified
+    name — never ``repr``, which embeds object addresses and would key a
+    fresh ledger on every invocation.
+    """
+    import pickle
+
+    target = metric
+    seen = set()
+    while id(target) not in seen:
+        seen.add(id(target))
+        inner = getattr(target, "metric", None)
+        if inner is None or not callable(inner):
+            break
+        target = inner
+    try:
+        payload = pickle.dumps(target, protocol=5)
+    except Exception:
+        name = getattr(target, "__qualname__", None) or type(target).__qualname__
+        module = getattr(target, "__module__", None) or type(target).__module__
+        payload = f"{module}.{name}".encode("utf-8")
+    digest = hashlib.sha256(payload)
+    if spec is not None:
+        digest.update(
+            _canonical(
+                {
+                    "threshold": float(spec.threshold),
+                    "fail_below": bool(spec.fail_below),
+                }
+            ).encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
 def _task_spawn_key(task) -> Optional[List[int]]:
     seed = getattr(task, "seed", None)
     if isinstance(seed, np.random.SeedSequence):
@@ -231,11 +276,26 @@ class ShardLedger:
         with _telemetry.span("ledger.load", path=str(self.path)) as sp:
             lines = self.path.read_text(encoding="utf-8").splitlines()
             try:
-                header = json.loads(lines[0])
-            except (json.JSONDecodeError, IndexError) as exc:
+                header = json.loads(lines[0]) if lines else None
+            except json.JSONDecodeError:
+                header = None
+            if not isinstance(header, dict):
+                if len(lines) <= 1:
+                    # A kill mid-write of the very first append tears the
+                    # header line, and nothing can follow it (the header
+                    # is always written first): the file holds no shard
+                    # data.  Start fresh instead of demanding manual
+                    # deletion to resume.
+                    self.n_dropped += len(lines)
+                    self.path.unlink()
+                    sp.add("rows", 0)
+                    sp.add("dropped", self.n_dropped)
+                    return
                 raise LedgerMismatch(
-                    f"{self.path}: unreadable ledger header ({exc})"
-                ) from exc
+                    f"{self.path}: unreadable ledger header followed by "
+                    f"{len(lines) - 1} line(s); refusing to resume over a "
+                    "file this ledger did not write"
+                )
             if header.get("schema") != LEDGER_SCHEMA:
                 raise LedgerMismatch(
                     f"{self.path}: schema {header.get('schema')!r} != "

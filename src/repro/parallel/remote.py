@@ -19,6 +19,12 @@ raw bytes.  Messages are small tagged tuples::
     ("task", id, fn, task)                coordinator -> worker
     ("result", id, result, wall_s)        worker -> coordinator
     ("error", id, message, traceback)     worker -> coordinator
+
+The task ``id`` is opaque to workers (echoed back verbatim); the
+coordinator encodes ``(map generation, shard index)`` in it so stale
+completions — shards in flight when an earlier ``map`` aborted, or
+duplicates of shards reassigned away from a presumed-dead worker — are
+recognised and discarded instead of corrupting a later merge.
     ("beat", ts)                          worker -> coordinator, periodic
     ("drain",) / ("shutdown",)            coordinator -> worker
 
@@ -135,6 +141,18 @@ class FramedConnection:
         self.sock.close()
 
 
+def _split_tid(tid) -> Tuple[int, int]:
+    """Split a wire task id into ``(generation, index)``.
+
+    Ids are opaque to workers (echoed back verbatim), so anything
+    malformed maps to ``(-1, -1)`` — a generation no live ``map`` ever
+    uses — and is discarded rather than trusted.
+    """
+    if isinstance(tid, tuple) and len(tid) == 2:
+        return int(tid[0]), int(tid[1])
+    return (-1, -1)
+
+
 class RemoteTaskError(RuntimeError):
     """A shard raised on a remote worker; carries the remote traceback."""
 
@@ -148,7 +166,8 @@ class _Worker:
         self.name = name
         self.alive = True
         self.last_seen = time.monotonic()
-        self.current: Optional[int] = None  # in-flight task index
+        #: In-flight ``(generation, index)`` task id, or ``None`` when idle.
+        self.current: Optional[Tuple[int, int]] = None
         self.sent_at: float = 0.0
         self.completed = 0
 
@@ -177,7 +196,9 @@ class RemoteCoordinator:
         self._lock = threading.Lock()
         self._workers: List[_Worker] = []
         self._inbox: "queue.Queue" = queue.Queue()
+        self._join_cond = threading.Condition()
         self._closed = False
+        self._generation = 0
         self.dispatch_overhead_s: List[float] = []
         self._accepter = threading.Thread(
             target=self._accept_loop, name="repro-remote-accept", daemon=True
@@ -211,6 +232,8 @@ class RemoteCoordinator:
                 name=f"repro-remote-recv-{worker.name}",
                 daemon=True,
             ).start()
+            with self._join_cond:
+                self._join_cond.notify_all()
             self._inbox.put(("joined", worker))
 
     def _receive_loop(self, worker: _Worker) -> None:
@@ -232,23 +255,28 @@ class RemoteCoordinator:
         return len(self._live_workers())
 
     def wait_for_workers(self, count: Optional[int] = None) -> None:
-        """Block until ``count`` (default ``min_workers``) workers joined."""
+        """Block until ``count`` (default ``min_workers``) workers joined.
+
+        The accept loop notifies ``_join_cond`` on every join, so this
+        sleeps between joins instead of polling (recycling inbox events
+        here would hot-spin whenever anything — e.g. the first of two
+        awaited joins — is already queued).
+        """
         count = self.min_workers if count is None else int(count)
         deadline = time.monotonic() + self.connect_timeout
-        while self.n_workers() < count:
-            if time.monotonic() > deadline:
-                raise RuntimeError(
-                    f"remote backend: only {self.n_workers()} of {count} "
-                    f"worker(s) connected to {self.address[0]}:"
-                    f"{self.address[1]} within {self.connect_timeout:.0f}s"
-                )
-            try:
-                self._inbox.put(self._inbox.get(timeout=0.2))
-            except queue.Empty:
-                pass
+        with self._join_cond:
+            while self.n_workers() < count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RuntimeError(
+                        f"remote backend: only {self.n_workers()} of {count} "
+                        f"worker(s) connected to {self.address[0]}:"
+                        f"{self.address[1]} within {self.connect_timeout:.0f}s"
+                    )
+                self._join_cond.wait(timeout=min(remaining, 1.0))
 
-    def _mark_dead(self, worker: _Worker) -> Optional[int]:
-        """Declare a worker dead; return its in-flight task index, if any."""
+    def _mark_dead(self, worker: _Worker) -> Optional[Tuple[int, int]]:
+        """Declare a worker dead; return its in-flight task id, if any."""
         with self._lock:
             if not worker.alive:
                 return None
@@ -273,18 +301,26 @@ class RemoteCoordinator:
         Dead workers' in-flight shards are re-queued for the survivors; if
         every worker dies, the call waits ``connect_timeout`` for a new
         one to join before giving up.
+
+        Task ids carry a per-``map`` generation: a completion that was
+        already in flight when a previous ``map`` aborted (or when its
+        worker was declared dead and the shard reassigned) is discarded
+        instead of corrupting this run's merge or firing ``on_result``
+        twice for one shard.
         """
         tasks = list(tasks)
         if not tasks:
             return []
+        self._generation += 1
+        generation = self._generation
         self.wait_for_workers()
         pending: List[int] = list(range(len(tasks)))
         results: List = [None] * len(tasks)
-        done = 0
+        completed: set = set()
         last_progress = time.monotonic()
         try:
-            while done < len(tasks):
-                pending = self._dispatch(fn, tasks, pending)
+            while len(completed) < len(tasks):
+                pending = self._dispatch(fn, tasks, pending, generation, completed)
                 try:
                     event = self._inbox.get(timeout=min(self.heartbeat, 1.0))
                 except queue.Empty:
@@ -294,29 +330,45 @@ class RemoteCoordinator:
                     kind = event[0]
                     if kind == "result":
                         _, worker, message = event
-                        _, task_id, payload, wall_s = message
-                        worker.current = None
-                        worker.completed += 1
-                        overhead = max((now - worker.sent_at) - wall_s, 0.0)
-                        self.dispatch_overhead_s.append(overhead)
-                        results[task_id] = payload
-                        done += 1
-                        last_progress = now
-                        if on_result is not None:
-                            on_result(payload)
+                        _, tid, payload, wall_s = message
+                        if worker.current == tid:
+                            worker.current = None  # idle again either way
+                        gen_id, index = _split_tid(tid)
+                        if gen_id != generation:
+                            # Leftover from an earlier map() on this
+                            # coordinator (in flight when that run
+                            # aborted): the payload belongs to a dead run.
+                            _telemetry.count("remote.stale_results", 1)
+                        elif index in completed:
+                            # The original owner was declared dead and the
+                            # shard reassigned, but its result was already
+                            # queued.  Both copies are bit-identical; only
+                            # the first one counts.
+                            _telemetry.count("remote.duplicate_results", 1)
+                        else:
+                            worker.completed += 1
+                            overhead = max((now - worker.sent_at) - wall_s, 0.0)
+                            self.dispatch_overhead_s.append(overhead)
+                            results[index] = payload
+                            completed.add(index)
+                            last_progress = now
+                            if on_result is not None:
+                                on_result(payload)
                     elif kind == "error":
                         _, worker, message = event
-                        _, task_id, text, remote_tb = message
-                        worker.current = None
-                        raise RemoteTaskError(
-                            f"shard {task_id} failed on worker "
-                            f"{worker.name}: {text}\n--- remote traceback "
-                            f"---\n{remote_tb}"
-                        )
+                        _, tid, text, remote_tb = message
+                        if worker.current == tid:
+                            worker.current = None
+                        gen_id, index = _split_tid(tid)
+                        if gen_id == generation and index not in completed:
+                            raise RemoteTaskError(
+                                f"shard {index} failed on worker "
+                                f"{worker.name}: {text}\n--- remote "
+                                f"traceback ---\n{remote_tb}"
+                            )
                     elif kind == "lost":
                         orphan = self._mark_dead(event[1])
-                        if orphan is not None:
-                            pending.insert(0, orphan)
+                        self._requeue(orphan, generation, completed, pending)
                     elif kind == "joined":
                         last_progress = now
                 # Heartbeat staleness: a worker that stopped beating is
@@ -325,38 +377,59 @@ class RemoteCoordinator:
                 for worker in self._live_workers():
                     if now - worker.last_seen > DEAD_AFTER_BEATS * self.heartbeat:
                         orphan = self._mark_dead(worker)
-                        if orphan is not None:
-                            pending.insert(0, orphan)
-                if not self._live_workers() and done < len(tasks):
+                        self._requeue(orphan, generation, completed, pending)
+                if not self._live_workers() and len(completed) < len(tasks):
                     if now - last_progress > self.connect_timeout:
                         raise RuntimeError(
                             "remote backend: all workers died and none "
                             f"rejoined within {self.connect_timeout:.0f}s "
-                            f"({done}/{len(tasks)} shards completed)"
+                            f"({len(completed)}/{len(tasks)} shards completed)"
                         )
         except KeyboardInterrupt:
             self.drain()
             raise
         return results
 
-    def _dispatch(self, fn, tasks, pending: List[int]) -> List[int]:
-        remaining = list(pending)
+    @staticmethod
+    def _requeue(
+        orphan: Optional[Tuple[int, int]],
+        generation: int,
+        completed: set,
+        pending: List[int],
+    ) -> None:
+        """Put a dead worker's in-flight shard back on the queue, once."""
+        if orphan is None:
+            return
+        gen_id, index = _split_tid(orphan)
+        if gen_id != generation or index in completed or index in pending:
+            return
+        pending.insert(0, index)
+
+    def _dispatch(
+        self,
+        fn,
+        tasks,
+        pending: List[int],
+        generation: int,
+        completed: set,
+    ) -> List[int]:
+        remaining = [i for i in pending if i not in completed]
         for worker in self._live_workers():
             if not remaining:
                 break
             if worker.current is not None:
                 continue
-            task_id = remaining.pop(0)
+            index = remaining.pop(0)
             try:
-                worker.current = task_id
+                worker.current = (generation, index)
                 worker.sent_at = time.monotonic()
-                worker.conn.send(("task", task_id, fn, tasks[task_id]))
+                worker.conn.send(
+                    ("task", (generation, index), fn, tasks[index])
+                )
             except (OSError, ConnectionError):
                 worker.current = None
-                remaining.insert(0, task_id)
-                orphan = self._mark_dead(worker)
-                if orphan is not None and orphan != task_id:
-                    remaining.insert(0, orphan)
+                remaining.insert(0, index)
+                self._mark_dead(worker)
         return remaining
 
     # ----------------------------------------------------------- teardown

@@ -33,6 +33,7 @@ from repro.parallel import (
 from repro.parallel.ledger import (
     decode_value,
     encode_value,
+    metric_fingerprint,
     proposal_fingerprint,
     run_digest,
     seed_key,
@@ -142,6 +143,52 @@ class TestEncoding:
         assert stamp["pid"] == os.getpid()
         assert stamp["hostname"] and stamp["cpu_count"] >= 1
 
+    def test_metric_fingerprint_distinguishes_problems(self):
+        from repro.mc.indicator import FailureSpec
+
+        a = LinearMetric(np.array([1.0, 0.5]), 2.2)
+        b = LinearMetric(np.array([1.0, -0.5]), 2.2)
+        spec = FailureSpec(0.0, fail_below=True)
+        assert metric_fingerprint(a, spec) == metric_fingerprint(
+            LinearMetric(np.array([1.0, 0.5]), 2.2), spec
+        )
+        assert metric_fingerprint(a, spec) != metric_fingerprint(b, spec)
+        assert metric_fingerprint(a, spec) != metric_fingerprint(
+            a, FailureSpec(0.5, fail_below=True)
+        )
+        assert metric_fingerprint(a, spec) != metric_fingerprint(
+            a, FailureSpec(0.0, fail_below=False)
+        )
+
+    def test_metric_fingerprint_unwraps_counting_wrappers(self):
+        from repro.mc.indicator import FailureSpec
+
+        metric = LinearMetric(np.array([1.0, 0.5]), 2.2)
+        spec = FailureSpec(0.0)
+        counted = CountedMetric(metric, metric.dimension)
+        counted(np.zeros((3, 2)))  # advance the counter: must not matter
+        assert metric_fingerprint(counted, spec) == metric_fingerprint(
+            metric, spec
+        )
+        assert metric_fingerprint(
+            CountedMetric(counted, metric.dimension), spec
+        ) == metric_fingerprint(metric, spec)
+
+    def test_metric_fingerprint_unpicklable_falls_back_to_name(self):
+        class Unpicklable:
+            dimension = 2
+
+            def __call__(self, x):
+                return x.sum(axis=1)
+
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        # Stable across instances (no repr addresses), still a valid key.
+        assert metric_fingerprint(Unpicklable()) == metric_fingerprint(
+            Unpicklable()
+        )
+
 
 def _result(index, offset=None, count=10):
     rng = np.random.default_rng(index)
@@ -193,6 +240,31 @@ class TestShardLedger:
             ShardLedger(path, "mc", {"k": 2})
         with pytest.raises(LedgerMismatch):
             ShardLedger(path, "is", {"k": 1})
+
+    def test_torn_header_line_restarts_fresh(self, tmp_path):
+        """A kill mid-write of the header must not wedge resume forever."""
+        key = {"k": 9}
+        digest = run_digest({"ledger_kind": "mc", **key})
+        path = tmp_path / f"mc-{digest[:12]}.jsonl"
+        path.write_text('{"schema": "repro-led')  # torn first (only) line
+        ledger = open_ledger(tmp_path, "mc", key)
+        assert ledger.completed_indices == []
+        assert ledger.n_dropped == 1
+        ledger.record(_result(0))
+        ledger.close()
+        reopened = open_ledger(tmp_path, "mc", key)
+        assert reopened.completed_indices == [0]
+
+    def test_garbled_header_with_rows_still_raises(self, tmp_path):
+        """A torn header can only ever be the whole file; anything with
+        rows after an unreadable first line is a foreign file we must not
+        truncate."""
+        key = {"k": 10}
+        digest = run_digest({"ledger_kind": "mc", **key})
+        path = tmp_path / f"mc-{digest[:12]}.jsonl"
+        path.write_text('not json\n{"index": 0}\n')
+        with pytest.raises(LedgerMismatch, match="unreadable ledger header"):
+            open_ledger(tmp_path, "mc", key)
 
     def test_torn_trailing_line_is_dropped(self, tmp_path):
         key = {"k": 3}
@@ -306,6 +378,32 @@ class TestMonteCarloResume:
     def test_different_seed_gets_its_own_ledger(self, problem, tmp_path):
         _mc(problem, checkpoint_dir=tmp_path, rng=7)
         _mc(problem, checkpoint_dir=tmp_path, rng=8)
+        assert len(list(tmp_path.glob("mc-*.jsonl"))) == 2
+
+    def test_different_problem_never_replays(self, problem, tmp_path):
+        """Same dimension, seed and grid, different problem: the second
+        run must key its own ledger instead of silently replaying the
+        first problem's shards as its estimate."""
+        _mc(problem, checkpoint_dir=tmp_path)
+        other = LinearMetric(np.array([1.0, -0.5]), 2.2).problem("flipped")
+        counted = _counted(other)
+        result = _mc(other, metric=counted, checkpoint_dir=tmp_path)
+        assert counted.count == 4000  # nothing replayed across problems
+        assert result.extras["resume"]["shards_replayed"] == 0
+        assert len(list(tmp_path.glob("mc-*.jsonl"))) == 2
+
+    def test_different_spec_never_replays(self, problem, tmp_path):
+        from repro.mc.indicator import FailureSpec
+
+        _mc(problem, checkpoint_dir=tmp_path)
+        counted = _counted(problem)
+        brute_force_monte_carlo(
+            counted, FailureSpec(-0.5), 4000,
+            dimension=problem.dimension, rng=7, chunk_size=500,
+            shard_size=500, n_workers=2, backend="thread",
+            checkpoint_dir=tmp_path,
+        )
+        assert counted.count == 4000
         assert len(list(tmp_path.glob("mc-*.jsonl"))) == 2
 
     def test_serial_path_rejects_checkpoint_dir(self, problem, tmp_path):
@@ -443,7 +541,12 @@ _KILL_SCRIPT = textwrap.dedent("""
     problem = LinearMetric(np.array([1.0, 0.5]), 2.2).problem("halfspace")
 
     class SlowMetric:
+        # Wrappers that leave the numbers alone expose the wrapped
+        # callable as `.metric` so the ledger fingerprint unwraps them
+        # (same convention as CountedMetric) and the resumed run — which
+        # uses the bare metric — keys the same ledger.
         dimension = 2
+        metric = problem.metric
         def __call__(self, x):
             time.sleep(0.05)
             return problem.metric(x)

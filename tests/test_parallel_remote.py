@@ -42,6 +42,18 @@ def _boom(x):
     raise ValueError(f"shard {x} exploded")
 
 
+def _boom_or_slow(task):
+    if task == "boom":
+        raise ValueError("shard exploded")
+    time.sleep(0.8)
+    return 42
+
+
+def _slow_square(x):
+    time.sleep(0.4)
+    return x * x
+
+
 def _start_worker(address, **kwargs):
     thread = threading.Thread(
         target=run_worker,
@@ -175,6 +187,52 @@ class TestCoordinator:
             assert coord.n_workers() == 1  # the fake one was marked dead
         fake.join(timeout=5)
         real.join(timeout=5)
+
+    def test_aborted_map_leftovers_do_not_corrupt_next_map(self):
+        """A shard in flight when a map aborts must not leak its result
+        into a later map on the same coordinator."""
+        with RemoteCoordinator(min_workers=2, heartbeat=0.5) as coord:
+            threads = [_start_worker(coord.address) for _ in range(2)]
+            with pytest.raises(RemoteTaskError, match="exploded"):
+                # One worker errors instantly; the other is still busy
+                # with the slow shard when the error aborts the map.
+                coord.map(_boom_or_slow, ["boom", "slow"])
+            # The slow shard's stale result arrives mid-way through this
+            # map (its tasks are slow enough to keep it running past the
+            # leftover); it must be discarded, not merged or counted.
+            results = coord.map(_slow_square, [5, 6, 7])
+            assert results == [25, 36, 49]
+            assert coord.n_workers() == 2  # nobody was wrongly declared dead
+        for thread in threads:
+            thread.join(timeout=5)
+
+    def test_duplicate_completion_counts_once(self):
+        """The reassignment race: a presumed-dead worker's result for an
+        already-completed shard is discarded, never double-merged."""
+        with RemoteCoordinator(min_workers=1, heartbeat=5.0) as coord:
+            def worker_answering_twice():
+                sock = socket.create_connection(coord.address, timeout=5)
+                conn = FramedConnection(sock)
+                conn.send(("hello", PROTOCOL_VERSION, {}))
+                assert conn.recv()[0] == "welcome"
+                for _ in range(3):
+                    message = conn.recv()
+                    assert message[0] == "task"
+                    _, tid, fn, task = message
+                    conn.send(("result", tid, fn(task), 0.0))
+                    # Duplicate completion with a poisoned payload: the
+                    # coordinator must keep the first copy only.
+                    conn.send(("result", tid, -1, 0.0))
+                conn.close()
+
+            thread = threading.Thread(target=worker_answering_twice, daemon=True)
+            thread.start()
+            seen = []
+            results = coord.map(_square, [2, 3, 4], on_result=seen.append)
+            assert results == [4, 9, 16]
+            assert seen == [4, 9, 16]  # on_result fired exactly once per shard
+            assert len(coord.dispatch_overhead_s) == 3
+        thread.join(timeout=5)
 
     def test_late_worker_can_join_running_map(self):
         with RemoteCoordinator(
