@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the common workflows without writing any Python:
+Nine commands cover the common workflows without writing any Python:
 
 * ``estimate`` — run one method on a built-in problem::
 
@@ -34,6 +34,13 @@ Seven commands cover the common workflows without writing any Python:
   (trusted networks only; see ``docs/ELASTIC.md``)::
 
       python -m repro worker --connect 127.0.0.1:7341 --retries 30
+
+* ``top`` / ``status`` — watch a live metrics endpoint (a service, or
+  any long run started with ``--metrics-port``); ``top`` refreshes a
+  terminal dashboard, ``status`` prints the snapshot once as JSON (see
+  ``docs/OBSERVABILITY.md``)::
+
+      python -m repro top http://127.0.0.1:9464
 
 An interrupted run (SIGINT) exits with status 130 after the parallel
 layer has cancelled queued shards and joined its worker processes — no
@@ -166,6 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--log-json", action="store_true",
                        help="emit stderr diagnostics as one JSON object "
                             "per line")
+        p.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve live observability for this run on "
+                            "http://127.0.0.1:PORT (/metrics Prometheus "
+                            "text, /status JSON; 0 picks a free port); "
+                            "watch it with `repro top` — observing never "
+                            "changes results (docs/OBSERVABILITY.md)")
 
     est = sub.add_parser("estimate", help="run one estimation method")
     add_common(est)
@@ -207,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--log-json", action="store_true",
                      help="emit stderr diagnostics as one JSON object "
                           "per line")
+    srv.add_argument("--metrics-port", type=int, default=None,
+                     metavar="PORT",
+                     help="additionally serve /metrics and /status on a "
+                          "dedicated loopback port (0 picks a free one); "
+                          "the main API port always serves both routes "
+                          "too (see docs/OBSERVABILITY.md)")
 
     def add_client(p):
         p.add_argument("--url", default="http://127.0.0.1:8642",
@@ -276,6 +296,38 @@ def build_parser() -> argparse.ArgumentParser:
     wrk.add_argument("--log-json", action="store_true",
                      help="emit stderr diagnostics as one JSON object "
                           "per line")
+    wrk.add_argument("--metrics-port", type=int, default=None,
+                     metavar="PORT",
+                     help="serve this worker's own /metrics (shards and "
+                          "simulations completed, task seconds) on "
+                          "http://127.0.0.1:PORT (0 picks a free port)")
+
+    top_ = sub.add_parser(
+        "top",
+        help="live dashboard over a /status endpoint "
+             "(a service, or a run started with --metrics-port)",
+    )
+    top_.add_argument("url", nargs="?", default="http://127.0.0.1:8642",
+                      help="metrics endpoint base URL "
+                           "(default: the local service)")
+    top_.add_argument("--interval", type=float, default=2.0,
+                      help="seconds between refreshes (default: 2)")
+    top_.add_argument("--iterations", type=int, default=0,
+                      help="frames to render before exiting "
+                           "(default: 0 = until interrupted)")
+    top_.add_argument("--log-json", action="store_true",
+                      help="emit stderr diagnostics as one JSON object "
+                           "per line")
+
+    sta = sub.add_parser(
+        "status", help="one-shot observability snapshot as JSON"
+    )
+    sta.add_argument("url", nargs="?", default="http://127.0.0.1:8642",
+                     help="metrics endpoint base URL "
+                          "(default: the local service)")
+    sta.add_argument("--log-json", action="store_true",
+                     help="emit stderr diagnostics as one JSON object "
+                          "per line")
     return parser
 
 
@@ -325,6 +377,35 @@ def _first_stage_kwargs(args, methods) -> dict:
     return kwargs
 
 
+@contextlib.contextmanager
+def _metrics_exporter(args):
+    """Live ``/metrics`` + ``/status`` for the run (``--metrics-port``).
+
+    Installs a fresh :class:`~repro.obs.progress.ProgressEngine` as the
+    process-global active engine and binds a loopback exporter for the
+    duration; the handler reads the actives at request time, so the
+    recorder (when one records) shows up on the same endpoint.  Without
+    the flag this yields immediately and every instrumented site keeps
+    its one-``is None``-check fast path.
+    """
+    port = getattr(args, "metrics_port", None)
+    if port is None:
+        yield None
+        return
+    from repro.obs import ProgressEngine, activate
+    from repro.obs.http import start_metrics_server
+
+    engine = ProgressEngine()
+    with activate(engine):
+        server = start_metrics_server(port)
+        logs.info(f"metrics exporter on {server.url}/metrics "
+                  f"(watch with `repro top {server.url}`)")
+        try:
+            yield engine
+        finally:
+            server.close()
+
+
 def _print_verbose_extras(result) -> None:
     """``--verbose`` detail: mixing diagnostics and the adaptive record."""
     diagnostics = result.extras.get("chain_diagnostics")
@@ -332,12 +413,16 @@ def _print_verbose_extras(result) -> None:
         logs.info(f"chain mixing: {diagnostics.summary()}")
     resumed = result.extras.get("resume")
     if resumed is not None:
-        logs.info(
+        line = (
             f"elastic ledger {resumed.get('path')}: "
             f"{resumed.get('shards_replayed', 0)} shard(s) replayed, "
             f"{resumed.get('shards_executed', 0)} executed "
             f"({resumed.get('sims_replayed', 0)} simulations saved)"
         )
+        dropped = resumed.get("rows_dropped", 0)
+        if dropped:
+            line += f"; {dropped} torn/corrupt row(s) dropped"
+        logs.info(line)
     adaptive = result.extras.get("adaptive_sharding")
     if adaptive is not None:
         probe = adaptive["probe"]
@@ -367,10 +452,15 @@ def _run_recorder(args) -> Optional["telemetry.Recorder"]:
     """A fresh run recorder when this invocation records telemetry.
 
     Tracing flags always record; ``--verbose`` alone records too, so the
-    stderr summary has something to say.  ``None`` (the default) keeps
+    stderr summary has something to say, and ``--metrics-port`` records
+    so the exporter has counters to serve.  ``None`` (the default) keeps
     every instrumented site on its one-``is None``-check fast path.
     """
-    if _tracing_requested(args) or getattr(args, "verbose", False):
+    if (
+        _tracing_requested(args)
+        or getattr(args, "verbose", False)
+        or getattr(args, "metrics_port", None) is not None
+    ):
         return telemetry.Recorder(run_id=f"repro-{args.command}")
     return None
 
@@ -433,7 +523,7 @@ def _cmd_estimate(args) -> int:
             listen=args.listen, min_workers=args.workers or 1,
         )
     recorder = _run_recorder(args)
-    with (
+    with _metrics_exporter(args), (
         telemetry.activate(recorder)
         if recorder is not None
         else contextlib.nullcontext()
@@ -495,7 +585,7 @@ def _cmd_compare(args) -> int:
         return 2
     first_stage = _first_stage_kwargs(args, args.methods)
     recorder = _run_recorder(args)
-    with (
+    with _metrics_exporter(args), (
         telemetry.activate(recorder)
         if recorder is not None
         else contextlib.nullcontext()
@@ -551,7 +641,21 @@ def _cmd_serve(args) -> int:
     if args.cache_dir is None:
         logs.warning("no --cache-dir: serving without persistence "
                      "(every job runs cold)")
-    serve_forever(service, host=args.host, port=args.port)
+    metrics = None
+    if args.metrics_port is not None:
+        # The service installed its progress engine as the process-global
+        # active in its constructor, so the dedicated exporter serves the
+        # same queue the API port does.
+        from repro.obs.http import start_metrics_server
+
+        metrics = start_metrics_server(args.metrics_port)
+        logs.info(f"metrics exporter on {metrics.url}/metrics "
+                  f"(watch with `repro top {metrics.url}`)")
+    try:
+        serve_forever(service, host=args.host, port=args.port)
+    finally:
+        if metrics is not None:
+            metrics.close()
     return 0
 
 
@@ -659,14 +763,44 @@ def _cmd_worker(args) -> int:
     from repro.parallel.remote import parse_address, run_worker
 
     host, port = parse_address(args.connect)
-    logs.info(f"joining coordinator at {host}:{port}")
-    completed = run_worker(
-        host, port,
-        heartbeat=args.heartbeat,
-        retries=args.retries,
-        retry_delay=args.retry_delay,
+    recorder = (
+        telemetry.Recorder(run_id="repro-worker")
+        if args.metrics_port is not None
+        else None
     )
+    logs.info(f"joining coordinator at {host}:{port}")
+    with _metrics_exporter(args), (
+        telemetry.activate(recorder)
+        if recorder is not None
+        else contextlib.nullcontext()
+    ):
+        completed = run_worker(
+            host, port,
+            heartbeat=args.heartbeat,
+            retries=args.retries,
+            retry_delay=args.retry_delay,
+        )
     logs.info(f"worker done: {completed} shard(s) executed")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(
+        args.url, interval=args.interval, iterations=args.iterations
+    )
+
+
+def _cmd_status(args) -> int:
+    from repro.obs.top import fetch_status
+
+    try:
+        status = fetch_status(args.url)
+    except (OSError, ValueError) as exc:
+        logs.error(f"cannot fetch {args.url}/status: {exc}")
+        return 1
+    print(json.dumps(status, indent=2, default=str, sort_keys=True))
     return 0
 
 
@@ -681,6 +815,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
         "worker": _cmd_worker,
+        "top": _cmd_top,
+        "status": _cmd_status,
     }
     try:
         return handlers[args.command](args)

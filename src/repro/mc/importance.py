@@ -15,12 +15,14 @@ central claim (Gibbs sampling learns a better ``g_nor``).
 
 from __future__ import annotations
 
+from types import SimpleNamespace
 from typing import Callable, Optional, Union
 
 import numpy as np
 
 from repro.mc.indicator import FailureSpec
 from repro.mc.results import ConvergenceTrace, EstimationResult
+from repro.obs import progress as _progress
 from repro.parallel.adaptive import adaptive_shard_size, probe_metric_cost
 from repro.parallel.executor import ParallelExecutor, resolve_executor
 from repro.parallel.ledger import (
@@ -263,6 +265,9 @@ def importance_sampling_estimate(
             "probe": probe.as_extras(),
             "shard_size": int(shard_size),
         }
+    engine = _progress.get_active()
+    if engine is not None:
+        engine.stage_begin("second_stage")
     with _telemetry.span(
         "second_stage",
         method=method,
@@ -301,8 +306,17 @@ def importance_sampling_estimate(
             fail = spec.indicator(metric(x))
             weights = importance_weights(x, fail, proposal, nominal)
             n_failures = int(fail.sum())
+            if engine is not None:
+                # Serial path: report the whole batch as one shard so
+                # unsharded runs still show progress and convergence.
+                engine.shard_done(
+                    "second_stage",
+                    SimpleNamespace(n_sims=int(n_samples), weights=weights),
+                )
         stage_span.add("sims", int(n_samples))
         stage_span.add("failures", int(n_failures))
+    if engine is not None:
+        engine.stage_end("second_stage")
 
     result_extras = dict(extras or {})
     if adaptive_record is not None:

@@ -17,12 +17,14 @@ trace are bit-identical for every ``n_workers`` and backend.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
 from typing import Callable, Optional
 
 import numpy as np
 
 from repro.mc.indicator import FailureSpec
 from repro.mc.results import ConvergenceTrace, EstimationResult
+from repro.obs import progress as _progress
 from repro.parallel.executor import ParallelExecutor, resolve_executor
 from repro.parallel.ledger import metric_fingerprint, open_ledger, seed_key
 from repro.parallel.sharding import checkpoint_grid, merge_mc_shards, plan_shards
@@ -215,6 +217,9 @@ def brute_force_monte_carlo(
             "checkpoint_dir requires the sharded path; pass n_workers "
             "(or an executor) to enable it"
         )
+    engine = _progress.get_active()
+    if engine is not None:
+        engine.stage_begin("mc")
     with _telemetry.span(
         "mc.run", samples=int(n_samples), sharded=pool is not None
     ) as stage_span:
@@ -226,6 +231,8 @@ def brute_force_monte_carlo(
             )
             stage_span.add("sims", int(n_samples))
             stage_span.add("failures", int(result.extras["n_failures"]))
+            if engine is not None:
+                engine.stage_end("mc")
             return result
         rng = ensure_rng(rng)
 
@@ -254,8 +261,21 @@ def brute_force_monte_carlo(
                 next_cp += 1
             failures += int(fail.sum())
             seen += take
+        if engine is not None:
+            # Serial path: the whole run reports as one shard so the
+            # progress view covers unsharded golden runs too.
+            engine.shard_done(
+                "mc",
+                SimpleNamespace(
+                    n_sims=int(n_samples),
+                    n_failures=int(failures),
+                    count=int(n_samples),
+                ),
+            )
         stage_span.add("sims", int(n_samples))
         stage_span.add("failures", int(failures))
+    if engine is not None:
+        engine.stage_end("mc")
 
     estimate = failures / n_samples
     rel = montecarlo_relative_error(failures, n_samples)

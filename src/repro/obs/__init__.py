@@ -1,0 +1,37 @@
+"""Live run observability: progress/ETA, Prometheus exposition, fleet health.
+
+``repro.obs`` is the *live* counterpart to :mod:`repro.telemetry`'s
+post-hoc recorder: a process-global :class:`ProgressEngine` subscribes to
+executor completions, ledger replays and stage transitions, and an HTTP
+exporter (:mod:`repro.obs.http`) serves the current state as Prometheus
+text exposition (``GET /metrics``) and JSON (``GET /status``) while the
+run is still going.  ``repro top`` renders that endpoint as a refreshing
+terminal dashboard.
+
+Like telemetry, observability sits **outside the determinism contract**:
+the engine observes shard results, it never touches RNG streams or shard
+content, so estimates are bit-identical with obs enabled or disabled.
+When no engine is active every hook reduces to a single ``is None``
+check — the hot path pays nothing.
+"""
+
+from repro.obs.progress import (
+    ProgressEngine,
+    activate,
+    enabled,
+    get_active,
+    set_active,
+    stage_for,
+)
+from repro.obs.prometheus import parse_exposition, render_exposition
+
+__all__ = [
+    "ProgressEngine",
+    "activate",
+    "enabled",
+    "get_active",
+    "set_active",
+    "stage_for",
+    "render_exposition",
+    "parse_exposition",
+]

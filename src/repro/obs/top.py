@@ -1,0 +1,170 @@
+"""``repro top`` / ``repro status``: terminal dashboard over /status.
+
+Polls a metrics endpoint started with ``--metrics-port`` (or the yield
+service's HTTP server, which exposes the same routes) and renders a
+refreshing text dashboard: stage progress bars with ETA, the streaming
+convergence line, and the per-worker fleet table.  ``repro status`` is
+the one-shot JSON variant for scripting.
+
+Rendering is pure (``render_dashboard(status) -> str``) so tests drive
+it with fabricated status documents; only :func:`run_top` touches the
+network and the terminal.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+#: ANSI: clear screen + home.  Only emitted when stdout is a TTY.
+_CLEAR = "\x1b[2J\x1b[H"
+_BAR_WIDTH = 28
+
+
+def fetch_status(url: str, timeout: float = 5.0) -> dict:
+    """GET ``<url>/status`` and return the parsed JSON document."""
+    target = url.rstrip("/") + "/status"
+    with urllib.request.urlopen(target, timeout=timeout) as response:
+        return json.loads(response.read().decode())
+
+
+def _bar(fraction: float) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * _BAR_WIDTH))
+    return "[" + "#" * filled + "-" * (_BAR_WIDTH - filled) + "]"
+
+
+def _duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--"
+    seconds = max(float(seconds), 0.0)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def _stage_lines(stages) -> list:
+    lines = []
+    for stage in stages:
+        label = stage["stage"]
+        if stage.get("scope"):
+            label = f"{stage['scope']}:{label}"
+        done = stage["shards_done"] + stage["shards_replayed"]
+        state = "RUN " if stage.get("active") else "done"
+        extra = ""
+        if stage["shards_replayed"]:
+            extra = f" (+{stage['shards_replayed']} replayed)"
+        lines.append(
+            f"  {label:<16} {_bar(stage['fraction'])} "
+            f"{done}/{stage['shards_total']} shards  "
+            f"{stage['sims_live']:,} sims{extra}  "
+            f"eta {_duration(stage.get('eta_s'))}  {state}"
+        )
+        conv = stage.get("convergence")
+        if conv:
+            lines.append(
+                f"  {'':<16} estimate {conv['estimate']:.3e}  "
+                f"rel.err {conv['relative_error'] * 100:.1f}%  "
+                f"CoV {conv['cov']:.2f}  (n={conv['n']:,})"
+            )
+    return lines
+
+
+def _fleet_lines(fleet) -> list:
+    if not fleet or not fleet.get("workers"):
+        return []
+    counts = fleet.get("counts", {})
+    lines = [
+        f"workers: {counts.get('alive', 0)}/{counts.get('connected', 0)} "
+        f"alive, {counts.get('lost', 0)} lost, "
+        f"{counts.get('requeued', 0)} shards requeued",
+        f"  {'worker':<20} {'host':<16} {'hb age':>7} {'inflight':>8} "
+        f"{'shards':>7} {'sims':>12}",
+    ]
+    for worker in fleet["workers"]:
+        mark = " " if worker.get("alive") else "!"
+        lines.append(
+            f" {mark}{str(worker.get('worker', '?')):<20} "
+            f"{str(worker.get('hostname') or '-'):<16} "
+            f"{worker.get('heartbeat_age_s', 0.0):>6.1f}s "
+            f"{worker.get('in_flight', 0):>8} "
+            f"{worker.get('shards_completed', 0):>7} "
+            f"{worker.get('sims_completed', 0):>12,}"
+        )
+    return lines
+
+
+def render_dashboard(status: dict, url: str = "") -> str:
+    """The full dashboard for one poll of ``/status``."""
+    snapshot = status.get("snapshot") or {}
+    lines = []
+    header = "repro top"
+    if url:
+        header += f" — {url}"
+    lines.append(header)
+    lines.append(
+        f"uptime {_duration(snapshot.get('uptime_s'))}   "
+        f"{snapshot.get('sims_per_second', 0.0):,.0f} sims/s"
+    )
+    chain = snapshot.get("chain") or {}
+    for scope, diag in sorted(chain.items()):
+        prefix = f"{scope}: " if scope else ""
+        lines.append(
+            f"  {prefix}chains max R-hat {diag['max_rhat']:.3f}, "
+            f"min ESS {diag['min_ess']:.0f}"
+        )
+    stages = snapshot.get("stages") or []
+    if stages:
+        lines.append("stages:")
+        lines.extend(_stage_lines(stages))
+    else:
+        lines.append("stages: (none yet)")
+    lines.extend(_fleet_lines(snapshot.get("fleet")))
+    counters = status.get("counters") or {}
+    interesting = {
+        name: value
+        for name, value in sorted(counters.items())
+        if name.startswith(("remote.", "ledger.", "worker."))
+    }
+    if interesting:
+        lines.append("counters: " + "  ".join(
+            f"{name}={value:g}" for name, value in interesting.items()
+        ))
+    return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    iterations: int = 0,
+    stream=None,
+) -> int:
+    """Poll ``url`` and redraw until interrupted.
+
+    ``iterations=0`` runs until Ctrl-C; a positive count renders that
+    many frames and returns (used by tests and one-off checks).
+    """
+    stream = stream if stream is not None else sys.stdout
+    clear = _CLEAR if getattr(stream, "isatty", lambda: False)() else ""
+    drawn = 0
+    try:
+        while True:
+            try:
+                status = fetch_status(url)
+                frame = render_dashboard(status, url=url)
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                frame = f"repro top — {url}\n(unreachable: {exc})"
+            stream.write(clear + frame + "\n")
+            stream.flush()
+            drawn += 1
+            if iterations and drawn >= iterations:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

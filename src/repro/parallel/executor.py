@@ -33,6 +33,7 @@ from concurrent.futures import (
 )
 from typing import Callable, List, Optional, Sequence
 
+from repro.obs import progress as _progress
 from repro.telemetry import context as _telemetry
 
 #: Recognised backend names.  ``"remote"`` fans shards out to
@@ -264,10 +265,32 @@ class ParallelExecutor:
         *completion* order, once per finished task — the hook the shard
         ledger uses to persist checkpoints while the run is still going.
         The returned list keeps serial (task) order regardless.
+
+        When a progress engine is active (:mod:`repro.obs`), every
+        completion is additionally reported to it, and the remote
+        coordinator's fleet snapshot is attached for the exporter.  The
+        engine only observes results after they exist, so mapped output
+        is bit-identical with observability on or off.
         """
         tasks = list(tasks)
         if not tasks:
             return []
+        engine = _progress.get_active()
+        if engine is not None:
+            stage = _progress.stage_for(fn)
+            engine.map_started(stage, len(tasks))
+            if self.backend == "remote":
+                engine.attach_fleet(
+                    self._ensure_coordinator().fleet_snapshot
+                )
+            caller_cb = on_result
+
+            def on_result(result, _cb=caller_cb, _stage=stage,
+                          _engine=engine):
+                if _cb is not None:
+                    _cb(result)
+                _engine.shard_done(_stage, result)
+
         with _telemetry.span(
             "parallel.map",
             fn=getattr(fn, "__name__", str(fn)),

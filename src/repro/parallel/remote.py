@@ -55,8 +55,10 @@ import time
 import traceback
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.obs import progress as _progress
 from repro.parallel.ledger import host_stamp
 from repro.telemetry import context as _telemetry
+from repro.telemetry import logs
 
 #: Protocol version; handshake rejects a mismatch outright.
 PROTOCOL_VERSION = 1
@@ -165,11 +167,14 @@ class _Worker:
         self.meta = meta
         self.name = name
         self.alive = True
+        self.joined_at = time.monotonic()
         self.last_seen = time.monotonic()
         #: In-flight ``(generation, index)`` task id, or ``None`` when idle.
         self.current: Optional[Tuple[int, int]] = None
         self.sent_at: float = 0.0
         self.completed = 0
+        #: Cumulative simulations reported in this worker's shard results.
+        self.sims = 0
 
 
 class RemoteCoordinator:
@@ -200,6 +205,9 @@ class RemoteCoordinator:
         self._closed = False
         self._generation = 0
         self.dispatch_overhead_s: List[float] = []
+        self.workers_joined = 0
+        self.workers_lost = 0
+        self.shards_requeued = 0
         self._accepter = threading.Thread(
             target=self._accept_loop, name="repro-remote-accept", daemon=True
         )
@@ -226,6 +234,15 @@ class RemoteCoordinator:
             worker = _Worker(conn, hello[2], name=f"{peer[0]}:{peer[1]}")
             with self._lock:
                 self._workers.append(worker)
+                self.workers_joined += 1
+            _telemetry.count("remote.workers_joined", 1)
+            logs.info(
+                "remote worker joined",
+                worker=worker.name,
+                hostname=worker.meta.get("hostname"),
+                pid=worker.meta.get("pid"),
+                cpu_count=worker.meta.get("cpu_count"),
+            )
             threading.Thread(
                 target=self._receive_loop,
                 args=(worker,),
@@ -281,9 +298,18 @@ class RemoteCoordinator:
             if not worker.alive:
                 return None
             worker.alive = False
+            self.workers_lost += 1
             orphan, worker.current = worker.current, None
         worker.conn.close()
         _telemetry.count("remote.workers_lost", 1)
+        logs.warning(
+            "remote worker presumed dead",
+            worker=worker.name,
+            hostname=worker.meta.get("hostname"),
+            pid=worker.meta.get("pid"),
+            last_seen_s=round(time.monotonic() - worker.last_seen, 3),
+            in_flight=orphan,
+        )
         return orphan
 
     # --------------------------------------------------------------- map
@@ -347,6 +373,9 @@ class RemoteCoordinator:
                             _telemetry.count("remote.duplicate_results", 1)
                         else:
                             worker.completed += 1
+                            worker.sims += int(
+                                getattr(payload, "n_sims", 0) or 0
+                            )
                             overhead = max((now - worker.sent_at) - wall_s, 0.0)
                             self.dispatch_overhead_s.append(overhead)
                             results[index] = payload
@@ -390,8 +419,8 @@ class RemoteCoordinator:
             raise
         return results
 
-    @staticmethod
     def _requeue(
+        self,
         orphan: Optional[Tuple[int, int]],
         generation: int,
         completed: set,
@@ -404,6 +433,15 @@ class RemoteCoordinator:
         if gen_id != generation or index in completed or index in pending:
             return
         pending.insert(0, index)
+        with self._lock:
+            self.shards_requeued += 1
+        _telemetry.count("remote.shards_requeued", 1)
+        logs.info(
+            "remote shard requeued",
+            shard=index,
+            pending=len(pending),
+            completed=len(completed),
+        )
 
     def _dispatch(
         self,
@@ -442,7 +480,65 @@ class RemoteCoordinator:
 
     def drain(self) -> None:
         """Ask every worker to finish its current shard and exit."""
+        _telemetry.count("remote.drains", 1)
+        logs.info(
+            "remote fleet draining",
+            workers=self.n_workers(),
+            address=f"{self.address[0]}:{self.address[1]}",
+        )
         self._broadcast(("drain",))
+
+    # -------------------------------------------------------- fleet health
+    def fleet_snapshot(self) -> dict:
+        """Per-worker health for the observability exporter.
+
+        Pure read (one lock acquisition, no socket traffic): heartbeat
+        ages, in-flight shards, cumulative shard/sim tallies per worker
+        plus coordinator-level join/loss/requeue counts and aggregate
+        dispatch overhead.
+        """
+        now = time.monotonic()
+        with self._lock:
+            workers = list(self._workers)
+            joined = self.workers_joined
+            lost = self.workers_lost
+            requeued = self.shards_requeued
+        overhead = list(self.dispatch_overhead_s)
+        return {
+            "address": f"{self.address[0]}:{self.address[1]}",
+            "counts": {
+                "connected": sum(1 for w in workers if w.alive),
+                "alive": sum(
+                    1
+                    for w in workers
+                    if w.alive
+                    and now - w.last_seen
+                    <= DEAD_AFTER_BEATS * self.heartbeat
+                ),
+                "joined": joined,
+                "lost": lost,
+                "requeued": requeued,
+            },
+            "dispatch_overhead_s": {
+                "count": len(overhead),
+                "sum": float(sum(overhead)),
+            },
+            "workers": [
+                {
+                    "worker": w.name,
+                    "hostname": w.meta.get("hostname"),
+                    "pid": w.meta.get("pid"),
+                    "cpu_count": w.meta.get("cpu_count"),
+                    "alive": bool(w.alive),
+                    "heartbeat_age_s": max(now - w.last_seen, 0.0),
+                    "uptime_s": max(now - w.joined_at, 0.0),
+                    "in_flight": 0 if w.current is None else 1,
+                    "shards_completed": int(w.completed),
+                    "sims_completed": int(w.sims),
+                }
+                for w in workers
+            ],
+        }
 
     def close(self) -> None:
         if self._closed:
@@ -531,10 +627,18 @@ def run_worker(
                         if isinstance(exc, KeyboardInterrupt):
                             raise
                         continue
-                    conn.send(
-                        ("result", task_id, result, time.perf_counter() - t0)
-                    )
+                    wall = time.perf_counter() - t0
+                    conn.send(("result", task_id, result, wall))
                     completed += 1
+                    # Worker-local observability (only when this worker
+                    # process opted in, e.g. ``repro worker
+                    # --metrics-port``): shard tallies for its own
+                    # /metrics endpoint.
+                    _telemetry.count("worker.tasks_completed", 1)
+                    _telemetry.observe("worker.task_seconds", wall)
+                    engine = _progress.get_active()
+                    if engine is not None:
+                        engine.shard_done(_progress.stage_for(fn), result)
                 elif kind == "ping":
                     conn.send(("pong",))
                 elif kind in ("drain", "shutdown"):

@@ -16,6 +16,7 @@ scraping logs.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
 import time
@@ -24,6 +25,8 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.obs import progress as _progress
+from repro.obs.progress import ProgressEngine
 from repro.parallel.executor import ParallelExecutor
 from repro.service.cache import ArtifactCache
 from repro.service.jobs import Job, JobCancelled, JobRequest, JobState
@@ -50,6 +53,12 @@ class YieldService:
     default_timeout:
         Per-job wall-clock limit (seconds) when the request carries
         none; ``None`` means unlimited.
+    observability:
+        Install a live :class:`~repro.obs.progress.ProgressEngine` for
+        the service's lifetime (default).  Each job-worker thread is
+        scoped by job id, so ``GET /jobs`` reports per-job progress and
+        ``GET /metrics`` exposes the whole queue.  Observing never
+        changes job results; ``False`` turns the engine off entirely.
     """
 
     def __init__(
@@ -59,6 +68,7 @@ class YieldService:
         n_workers: int = 1,
         backend: str = "serial",
         default_timeout: Optional[float] = None,
+        observability: bool = True,
     ):
         if n_job_workers < 1:
             raise ValueError(
@@ -88,6 +98,12 @@ class YieldService:
         )
         self._closed = False
         self.started_at = time.time()
+        #: Live progress engine for this service (None when disabled).
+        self.progress: Optional[ProgressEngine] = None
+        self._previous_engine: Optional[ProgressEngine] = None
+        if observability:
+            self.progress = ProgressEngine()
+            self._previous_engine = _progress.set_active(self.progress)
 
     # ------------------------------------------------------------ submit
     def submit(self, request: Union[JobRequest, dict]) -> Job:
@@ -140,15 +156,21 @@ class YieldService:
                 return f"timed out after {timeout:g}s"
             return None
 
+        scope = (
+            self.progress.scoped(job.id)
+            if self.progress is not None
+            else contextlib.nullcontext()
+        )
         try:
-            result, manifest = execute_job(
-                job.request,
-                cache=self.cache,
-                executor=self.executor,
-                should_abort=should_abort,
-                job_id=job.id,
-                checkpoint_dir=self.ledger_dir,
-            )
+            with scope:
+                result, manifest = execute_job(
+                    job.request,
+                    cache=self.cache,
+                    executor=self.executor,
+                    should_abort=should_abort,
+                    job_id=job.id,
+                    checkpoint_dir=self.ledger_dir,
+                )
         except JobCancelled as exc:
             with self._lock:
                 job.state = JobState.CANCELLED
@@ -184,17 +206,27 @@ class YieldService:
             raise KeyError(f"unknown job id {job_id!r}")
         return job
 
+    def _with_progress(self, status: dict) -> dict:
+        """Attach the live per-job stage snapshot to a status record."""
+        if self.progress is not None:
+            stages = self.progress.job_snapshot(status["id"])
+            if stages:
+                status["progress"] = stages
+        return status
+
     def status(self, job_id: str) -> dict:
         with self._lock:
             job = self._jobs.get(job_id)
             if job is None:
                 raise KeyError(f"unknown job id {job_id!r}")
-            return job.status()
+            status = job.status()
+        return self._with_progress(status)
 
     def jobs(self) -> List[dict]:
         """Status snapshots, in submission order."""
         with self._lock:
-            return [self._jobs[job_id].status() for job_id in self._order]
+            statuses = [self._jobs[job_id].status() for job_id in self._order]
+        return [self._with_progress(status) for status in statuses]
 
     def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
         """Block until a job leaves the queue/running states."""
@@ -272,6 +304,8 @@ class YieldService:
                 event.set()
         self._workers.shutdown(wait=True, cancel_futures=True)
         self.executor.close()
+        if self.progress is not None and _progress.get_active() is self.progress:
+            _progress.set_active(self._previous_engine)
 
     def __enter__(self) -> "YieldService":
         return self

@@ -8,7 +8,9 @@ everywhere the library is:
 method      path                           body / query
 ==========  =============================  =======================================
 ``GET``     ``/health``                    service stats + cache counters
-``GET``     ``/jobs``                      all job statuses, submission order
+``GET``     ``/metrics``                   Prometheus text exposition (live)
+``GET``     ``/status``                    observability snapshot as JSON
+``GET``     ``/jobs``                      all job statuses (+ live progress)
 ``POST``    ``/jobs``                      one request object, or ``{"jobs": [...]}``
 ``GET``     ``/jobs/<id>``                 one job's status
 ``GET``     ``/jobs/<id>/result``          ``?wait=<seconds>`` blocks for completion
@@ -30,7 +32,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.obs.http import EXPOSITION_CONTENT_TYPE, obs_status
+from repro.obs.prometheus import render_exposition
 from repro.service.scheduler import YieldService
+from repro.telemetry import context as _telemetry
 from repro.telemetry import logs
 
 DEFAULT_HOST = "127.0.0.1"
@@ -94,6 +99,15 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if parts == ["health"]:
                 self._send(200, {"ok": True, **service.stats()})
+            elif parts == ["metrics"]:
+                self._send_metrics(service)
+            elif parts == ["status"]:
+                status = obs_status(
+                    engine=service.progress,
+                    recorder=_telemetry.get_active(),
+                )
+                status["service"] = service.stats()
+                self._send(200, status)
             elif parts == ["jobs"]:
                 self._send(200, {"jobs": service.jobs()})
             elif len(parts) == 2 and parts[0] == "jobs":
@@ -108,6 +122,27 @@ class _Handler(BaseHTTPRequestHandler):
                 self._error(404, f"no such route: GET {self.path}")
         except KeyError as exc:
             self._error(404, str(exc.args[0]) if exc.args else str(exc))
+
+    def _send_metrics(self, service) -> None:
+        stats = service.stats()
+        extra = {
+            "repro_service_jobs_total": stats.get("total_jobs", 0),
+            "repro_service_uptime_seconds": stats.get("uptime_seconds", 0.0),
+            "repro_service_first_stage_sims_saved": stats.get(
+                "first_stage_sims_saved", 0
+            ),
+        }
+        text = render_exposition(
+            engine=service.progress,
+            recorder=_telemetry.get_active(),
+            extra_gauges=extra,
+        )
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", EXPOSITION_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _get_result(self, service, job_id: str, query: dict) -> None:
         wait = float(query.get("wait", 0) or 0)

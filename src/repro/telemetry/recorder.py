@@ -18,11 +18,16 @@ reduces to one ``is None`` check (see :mod:`repro.telemetry.context`).
 
 from __future__ import annotations
 
+import math
 import os
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.telemetry import clock
+
+#: Retained observations per histogram before stride-doubling decimation
+#: kicks in (see :meth:`Recorder.observe`).
+_RESERVOIR_CAP = 512
 
 
 class Span:
@@ -106,6 +111,14 @@ class Recorder:
         self.gauges: Dict[str, float] = {}
         #: name -> [count, total, min, max]
         self.histograms: Dict[str, List[float]] = {}
+        #: name -> retained observations (deterministic decimating
+        #: reservoir: every ``stride``-th value is kept, and the stride
+        #: doubles whenever the reservoir hits ``_RESERVOIR_CAP``).  The
+        #: reservoir is what makes p50/p95 reportable without storing an
+        #: unbounded stream; it is approximate for huge streams but exact
+        #: up to the cap, and entirely RNG-free.
+        self._hist_samples: Dict[str, List[float]] = {}
+        self._hist_stride: Dict[str, int] = {}
         self.spans: List[dict] = []
         #: Free-form metadata (the run manifest lands here).
         self.meta: Dict[str, object] = {}
@@ -133,11 +146,20 @@ class Recorder:
             h = self.histograms.get(name)
             if h is None:
                 self.histograms[name] = [1, value, value, value]
+                index = 0
             else:
+                index = int(h[0])
                 h[0] += 1
                 h[1] += value
                 h[2] = min(h[2], value)
                 h[3] = max(h[3], value)
+            stride = self._hist_stride.setdefault(name, 1)
+            if index % stride == 0:
+                samples = self._hist_samples.setdefault(name, [])
+                samples.append(value)
+                if len(samples) > _RESERVOIR_CAP:
+                    samples[:] = samples[::2]
+                    self._hist_stride[name] = stride * 2
 
     def span(self, name: str, **attrs) -> Span:
         """Open a span; use as ``with recorder.span("stage") as sp:``."""
@@ -166,6 +188,10 @@ class Recorder:
                 "counters": dict(self.counters),
                 "gauges": dict(self.gauges),
                 "histograms": {k: list(v) for k, v in self.histograms.items()},
+                "histogram_samples": {
+                    k: list(v) for k, v in self._hist_samples.items()
+                },
+                "histogram_strides": dict(self._hist_stride),
                 "spans": [dict(s) for s in self.spans],
             }
 
@@ -194,7 +220,37 @@ class Recorder:
                     h[1] += total
                     h[2] = min(h[2], lo)
                     h[3] = max(h[3], hi)
+            strides = record.get("histogram_strides", {})
+            for name, incoming in record.get("histogram_samples", {}).items():
+                samples = self._hist_samples.setdefault(name, [])
+                samples.extend(incoming)
+                stride = max(
+                    self._hist_stride.get(name, 1), int(strides.get(name, 1))
+                )
+                while len(samples) > _RESERVOIR_CAP:
+                    samples[:] = samples[::2]
+                    stride *= 2
+                self._hist_stride[name] = stride
             self.spans.extend(record.get("spans", []))
+
+    def percentiles(
+        self, name: str, qs: Sequence[float] = (0.5, 0.95)
+    ) -> Dict[float, float]:
+        """Reservoir-based quantiles of histogram ``name``.
+
+        Exact while the observation count is below the reservoir cap,
+        stride-decimated (and thus approximate) beyond it.  Returns an
+        empty dict for unknown names.
+        """
+        with self._lock:
+            samples = sorted(self._hist_samples.get(name, ()))
+        if not samples:
+            return {}
+        out = {}
+        for q in qs:
+            rank = max(int(math.ceil(float(q) * len(samples))) - 1, 0)
+            out[float(q)] = samples[min(rank, len(samples) - 1)]
+        return out
 
     # ------------------------------------------------------------ reporting
     def summary(self) -> str:
@@ -245,12 +301,19 @@ class Recorder:
             for name in sorted(gauges):
                 lines.append(f"    {name:<{width}}  {gauges[name]}")
         if histograms:
-            lines.append("  histograms (count/mean/min/max)")
+            lines.append("  histograms (count/mean/min/max p50 p95)")
             for name in sorted(histograms):
                 n, total, lo, hi = histograms[name]
                 mean = total / n if n else 0.0
+                pcts = self.percentiles(name)
+                tail = ""
+                if pcts:
+                    tail = (
+                        f"  p50={pcts.get(0.5, float('nan')):g}"
+                        f" p95={pcts.get(0.95, float('nan')):g}"
+                    )
                 lines.append(
-                    f"    {name}  {int(n)}/{mean:g}/{lo:g}/{hi:g}"
+                    f"    {name}  {int(n)}/{mean:g}/{lo:g}/{hi:g}{tail}"
                 )
         return "\n".join(lines)
 
